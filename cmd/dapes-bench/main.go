@@ -1,0 +1,81 @@
+// Command dapes-bench regenerates every table and figure of the paper's
+// evaluation section and prints them in the same organization the paper
+// reports. Scale is selectable: -scale=quick|reduced|full.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dapes/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dapes-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleName := flag.String("scale", "reduced", "workload scale: quick, reduced, or full")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. 9a,9b,10,tableI); empty = all")
+	flag.Parse()
+
+	var scale experiment.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiment.QuickScale()
+	case "reduced":
+		scale = experiment.ReducedScale()
+	case "full":
+		scale = experiment.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[strings.ToLower(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(wanted) == 0 || wanted[strings.ToLower(id)] }
+
+	type exp struct {
+		id  string
+		run func(experiment.Scale) (experiment.Table, error)
+	}
+	singles := []exp{
+		{"9a", experiment.Fig9a},
+		{"9b", experiment.Fig9b},
+		{"9c", experiment.Fig9c},
+		{"9d", experiment.Fig9d},
+		{"9e", experiment.Fig9e},
+		{"9f", experiment.Fig9f},
+		{"9g", experiment.Fig9g},
+		{"9h", experiment.Fig9h},
+		{"tableI", experiment.TableI},
+	}
+	for _, e := range singles {
+		if !want(e.id) {
+			continue
+		}
+		t, err := e.run(scale)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		fmt.Println(t)
+	}
+	if want("10") || want("10a") || want("10b") {
+		a, b, err := experiment.Fig10(scale)
+		if err != nil {
+			return fmt.Errorf("experiment 10: %w", err)
+		}
+		fmt.Println(a)
+		fmt.Println(b)
+	}
+	return nil
+}

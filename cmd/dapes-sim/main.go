@@ -1,0 +1,103 @@
+// Command dapes-sim runs a single Fig.-7 simulation trial with custom
+// parameters and prints its metrics — useful for exploring one point of the
+// design space without regenerating a whole figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dapes/internal/core"
+	"dapes/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dapes-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		system      = flag.String("system", "dapes", "stack to simulate: dapes, bithoc, or ekta")
+		wifiRange   = flag.Float64("range", 60, "WiFi range in meters (paper: 20-100)")
+		files       = flag.Int("files", 10, "files per collection")
+		packets     = flag.Int("packets", 20, "packets per file (paper full scale: 1024)")
+		trials      = flag.Int("trials", 3, "trials (paper: 10)")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		horizon     = flag.Duration("horizon", 45*time.Minute, "per-trial virtual time limit")
+		strategy    = flag.String("strategy", "local", "RPF strategy: local or encounter")
+		randomStart = flag.Bool("random-start", true, "start downloads at a random packet")
+		interleave  = flag.Bool("interleave", true, "interleave bitmap and data exchanges")
+		bitmaps     = flag.Int("bitmaps", 0, "bitmaps before data (0 = all; bitmaps-first mode only)")
+		peba        = flag.Bool("peba", true, "enable PEBA collision mitigation")
+		multihopOn  = flag.Bool("multihop", true, "enable intermediate-node forwarding")
+		forwardProb = flag.Float64("forward-prob", 0.2, "probabilistic forwarding rate")
+	)
+	flag.Parse()
+
+	s := experiment.ReducedScale()
+	s.NumFiles = *files
+	s.PacketsPerFile = *packets
+	s.Trials = *trials
+	s.BaseSeed = *seed
+	s.Horizon = *horizon
+
+	switch *system {
+	case "dapes":
+		opts := experiment.DAPESOptions{
+			Strategy:      core.LocalNeighborhoodRPF,
+			RandomStart:   *randomStart,
+			AdvertMode:    core.Interleaved,
+			BitmapsBefore: *bitmaps,
+			UsePEBA:       *peba,
+			Multihop:      *multihopOn,
+			ForwardProb:   *forwardProb,
+		}
+		if *strategy == "encounter" {
+			opts.Strategy = core.EncounterBasedRPF
+		}
+		if !*interleave {
+			opts.AdvertMode = core.BitmapsFirst
+		}
+		for t := 0; t < s.Trials; t++ {
+			tr, err := experiment.RunDAPESTrial(s, *wifiRange, t, opts)
+			if err != nil {
+				return err
+			}
+			printTrial(t, tr)
+		}
+	case "bithoc":
+		for t := 0; t < s.Trials; t++ {
+			tr, err := experiment.RunBithocTrial(s, *wifiRange, t)
+			if err != nil {
+				return err
+			}
+			printTrial(t, tr)
+		}
+	case "ekta":
+		for t := 0; t < s.Trials; t++ {
+			tr, err := experiment.RunEktaTrial(s, *wifiRange, t)
+			if err != nil {
+				return err
+			}
+			printTrial(t, tr)
+		}
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	return nil
+}
+
+func printTrial(t int, tr experiment.TrialResult) {
+	fmt.Printf("trial %d: avg-download=%v transmissions=%d completed=%d/%d",
+		t, tr.AvgDownloadTime.Round(100*time.Millisecond), tr.Transmissions,
+		tr.Completed, tr.Downloaders)
+	if tr.ForwardAccuracy > 0 {
+		fmt.Printf(" forward-accuracy=%.0f%%", 100*tr.ForwardAccuracy)
+	}
+	fmt.Println()
+}

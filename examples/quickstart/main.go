@@ -1,0 +1,86 @@
+// Quickstart: the paper's Section II-C use-case end to end. A resident
+// photographs a damaged bridge, packages the picture and its location into
+// a signed DAPES collection, and a nearby resident discovers and downloads
+// it over the shared wireless medium — verifying every packet against the
+// signed metadata.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"dapes/internal/core"
+	"dapes/internal/geo"
+	"dapes/internal/keys"
+	"dapes/internal/metadata"
+	"dapes/internal/ndn"
+	"dapes/internal/phy"
+	"dapes/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One virtual world: a deterministic event kernel and an 802.11b-style
+	// broadcast medium with a 60 m range.
+	kernel := sim.NewKernel(42)
+	medium := phy.NewMedium(kernel, phy.Config{Range: 60, LossRate: 0.05})
+
+	// The producer's identity key and the community trust anchor store.
+	rng := rand.New(rand.NewSource(7))
+	producerKey, err := keys.Generate(ndn.ParseName("/rural-net/alice"), rng)
+	if err != nil {
+		return err
+	}
+	trust := keys.NewTrustStore()
+	trust.AddAnchor(producerKey)
+
+	// Package the two files into the collection the paper names:
+	// /damaged-bridge-1533783192/{bridge-picture,bridge-location}/<seq>.
+	collection, err := metadata.BuildCollection(
+		ndn.ParseName("/damaged-bridge-1533783192"),
+		[]metadata.File{
+			{Name: "bridge-picture", Content: bytes.Repeat([]byte{0xD8}, 4500)}, // ~4.5 KB "photo"
+			{Name: "bridge-location", Content: []byte("lat=34.0689 lon=-118.4452 north abutment cracked")},
+		},
+		1000, metadata.FormatPacketDigest, producerKey)
+	if err != nil {
+		return err
+	}
+
+	// Alice (producer) and Bob (downloader), 30 m apart.
+	alice := core.NewPeer(kernel, medium, geo.Stationary{At: geo.Point{X: 0}}, producerKey, trust, core.Config{})
+	if err := alice.Publish(collection); err != nil {
+		return err
+	}
+	bob := core.NewPeer(kernel, medium, geo.Stationary{At: geo.Point{X: 30}}, nil, trust, core.Config{})
+	bob.Subscribe(ndn.ParseName("/damaged-bridge-1533783192"))
+	bob.SetOnComplete(func(coll ndn.Name, at time.Duration) {
+		fmt.Printf("bob finished %s at t=%v\n", coll, at.Round(time.Millisecond))
+	})
+
+	alice.Start()
+	bob.Start()
+
+	coll := collection.Manifest.Collection
+	if ok := kernel.RunUntil(5*time.Minute, func() bool {
+		done, _ := bob.Done(coll)
+		return done
+	}); !ok {
+		have, total := bob.Progress(coll)
+		return fmt.Errorf("download incomplete: %d/%d packets", have, total)
+	}
+
+	have, total := bob.Progress(coll)
+	fmt.Printf("bob verified %d/%d packets of %s\n", have, total, coll)
+	fmt.Printf("alice sent %d data packets; bob sent %d interests; medium: %s\n",
+		alice.Stats().DataSent, bob.Stats().DataInterestsSent, medium.Stats())
+	return nil
+}

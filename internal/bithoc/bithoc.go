@@ -1,0 +1,379 @@
+// Package bithoc implements the Bithoc baseline of the paper's comparison
+// (Krifa et al., Sbai et al.): BitTorrent adapted to MANETs. Peers flood
+// scoped HELLO messages to discover each other and the pieces they hold,
+// split neighbors into "close" (≤ 2 hops) and "far", fetch pieces with a
+// rarest-piece-first policy over reliable (TCP-like) unicast, and rely on
+// DSDV proactive routing for reachability.
+//
+// Every architectural cost the paper attributes to Bithoc is present:
+// periodic DSDV table dumps, application-layer flooding, per-receiver
+// unicast data (no overhearing benefit), and TCP-style retransmissions.
+package bithoc
+
+import (
+	"encoding/binary"
+	"time"
+
+	"dapes/internal/bitmap"
+	"dapes/internal/geo"
+	"dapes/internal/phy"
+	"dapes/internal/routing"
+	"dapes/internal/sim"
+	"dapes/internal/transport"
+)
+
+// Application frame/message types.
+const (
+	helloMagic = 0x30 // broadcast HELLO frames (outside the routing stack)
+	msgRequest = 0x31 // reliable piece request
+	msgPiece   = 0x32 // reliable piece payload
+)
+
+// Config parameterizes a Bithoc peer.
+type Config struct {
+	// HelloPeriod is the scoped-flooding period.
+	HelloPeriod time.Duration
+	// HelloTTL bounds the flood scope; 2 hops defines "close" neighbors.
+	HelloTTL int
+	// Pipeline bounds outstanding piece requests.
+	Pipeline int
+	// RequestTimeout re-arms a piece request that produced no piece.
+	RequestTimeout time.Duration
+	// NeighborTTL expires neighbors whose HELLOs stopped.
+	NeighborTTL time.Duration
+	// DSDV configures the underlying routing protocol.
+	DSDV routing.DSDVConfig
+	// Transport configures the TCP-like reliable service.
+	Transport transport.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.HelloPeriod == 0 {
+		c.HelloPeriod = 2 * time.Second
+	}
+	if c.HelloTTL == 0 {
+		c.HelloTTL = 2
+	}
+	if c.Pipeline == 0 {
+		c.Pipeline = 4
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 3 * time.Second
+	}
+	if c.NeighborTTL == 0 {
+		c.NeighborTTL = 12 * time.Second
+	}
+	return c
+}
+
+// Stats counts Bithoc application activity.
+type Stats struct {
+	HellosSent     uint64
+	HellosRelayed  uint64
+	RequestsSent   uint64
+	PiecesSent     uint64
+	PiecesReceived uint64
+	RequestRetries uint64
+}
+
+type peerInfo struct {
+	id        int
+	hops      int // flood distance when last heard
+	bm        *bitmap.Bitmap
+	lastHeard time.Duration
+}
+
+// Peer is one Bithoc node.
+type Peer struct {
+	k        *sim.Kernel
+	medium   *phy.Medium
+	radio    *phy.Radio
+	router   *routing.DSDV
+	reliable *transport.Reliable
+	cfg      Config
+	stats    Stats
+
+	nPieces   int
+	pieceSize int
+	have      *bitmap.Bitmap
+	peers     map[int]*peerInfo
+	inflight  map[int]*sim.Event // piece -> timeout
+	helloSeq  int
+	seenHello map[int]int // origin -> highest seq relayed
+	fetching  bool
+	running   bool
+	helloEv   *sim.Event
+	doneAt    time.Duration
+	done      bool
+}
+
+// NewPeer attaches a Bithoc peer to the medium.
+func NewPeer(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg Config) *Peer {
+	p := &Peer{
+		k:         k,
+		medium:    medium,
+		cfg:       cfg.withDefaults(),
+		peers:     make(map[int]*peerInfo),
+		inflight:  make(map[int]*sim.Event),
+		seenHello: make(map[int]int),
+	}
+	p.router = routing.NewDSDV(k, medium, mobility, p.cfg.DSDV)
+	p.radio = p.router.Radio()
+	p.reliable = transport.NewReliable(k, p.router, p.cfg.Transport)
+	p.reliable.SetReceive(p.onReliable)
+	// Chain onto the radio handler: routing frames go to DSDV (already
+	// installed); HELLO floods are ours.
+	prev := p.radio.Handler()
+	p.radio.SetHandler(func(f phy.Frame) {
+		if len(f.Payload) > 0 && f.Payload[0] == helloMagic {
+			p.onHello(f.Payload)
+			return
+		}
+		if prev != nil {
+			prev(f)
+		}
+	})
+	return p
+}
+
+// ID returns the peer's network identifier.
+func (p *Peer) ID() int { return p.router.ID() }
+
+// Stats returns a copy of the application counters.
+func (p *Peer) Stats() Stats { return p.stats }
+
+// Router exposes the underlying DSDV instance.
+func (p *Peer) Router() *routing.DSDV { return p.router }
+
+// Reliable exposes the transport for overhead accounting.
+func (p *Peer) Reliable() *transport.Reliable { return p.reliable }
+
+// Seed initializes the peer with every piece of the swarm's content.
+func (p *Peer) Seed(nPieces, pieceSize int) {
+	p.initSwarm(nPieces, pieceSize)
+	p.have.SetAll()
+	p.done = true
+}
+
+// Fetch initializes the peer as a downloader.
+func (p *Peer) Fetch(nPieces, pieceSize int) {
+	p.initSwarm(nPieces, pieceSize)
+}
+
+func (p *Peer) initSwarm(nPieces, pieceSize int) {
+	p.nPieces = nPieces
+	p.pieceSize = pieceSize
+	p.have = bitmap.New(nPieces)
+}
+
+// Done reports completion and its virtual time.
+func (p *Peer) Done() (bool, time.Duration) { return p.done, p.doneAt }
+
+// Progress returns pieces held over total.
+func (p *Peer) Progress() (have, total int) {
+	if p.have == nil {
+		return 0, 0
+	}
+	return p.have.Count(), p.nPieces
+}
+
+// Start activates routing, HELLO flooding, and fetching.
+func (p *Peer) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.router.Start()
+	p.helloEv = p.k.Schedule(p.k.Jitter(p.cfg.HelloPeriod), p.helloTick)
+}
+
+// Stop deactivates the peer.
+func (p *Peer) Stop() {
+	p.running = false
+	p.router.Stop()
+	if p.helloEv != nil {
+		p.helloEv.Cancel()
+	}
+}
+
+// --- HELLO flooding ---
+
+func (p *Peer) helloTick() {
+	if !p.running {
+		return
+	}
+	p.expirePeers()
+	if p.have != nil {
+		p.helloSeq++
+		p.stats.HellosSent++
+		p.medium.Broadcast(p.radio, p.encodeHello(p.ID(), p.helloSeq, p.cfg.HelloTTL))
+	}
+	p.helloEv = p.k.Schedule(p.cfg.HelloPeriod+p.k.Jitter(p.cfg.HelloPeriod/4), p.helloTick)
+	p.pump()
+}
+
+func (p *Peer) encodeHello(origin, seq, ttl int) []byte {
+	b := []byte{helloMagic, byte(ttl)}
+	b = binary.BigEndian.AppendUint32(b, uint32(origin))
+	b = binary.BigEndian.AppendUint32(b, uint32(seq))
+	return append(b, p.have.Encode()...)
+}
+
+func (p *Peer) onHello(payload []byte) {
+	if !p.running || len(payload) < 10 {
+		return
+	}
+	ttl := int(payload[1])
+	origin := int(binary.BigEndian.Uint32(payload[2:6]))
+	seq := int(binary.BigEndian.Uint32(payload[6:10]))
+	if origin == p.ID() {
+		return
+	}
+	bm, err := bitmap.Decode(payload[10:])
+	if err != nil {
+		return
+	}
+	hops := p.cfg.HelloTTL - ttl + 1
+	if info, ok := p.peers[origin]; !ok || seq >= p.helloSeqOf(origin) {
+		if !ok {
+			info = &peerInfo{id: origin}
+			p.peers[origin] = info
+		} else {
+			info = p.peers[origin]
+		}
+		info.bm = bm
+		info.hops = hops
+		info.lastHeard = p.k.Now()
+	}
+	// Scoped relay with duplicate suppression.
+	if ttl > 1 && p.seenHello[origin] < seq {
+		p.seenHello[origin] = seq
+		relay := append([]byte(nil), payload...)
+		relay[1] = byte(ttl - 1)
+		p.k.Schedule(p.k.Jitter(50*time.Millisecond), func() {
+			if !p.running {
+				return
+			}
+			p.stats.HellosRelayed++
+			p.medium.Broadcast(p.radio, relay)
+		})
+	}
+	p.pump()
+}
+
+func (p *Peer) helloSeqOf(origin int) int { return p.seenHello[origin] }
+
+func (p *Peer) expirePeers() {
+	now := p.k.Now()
+	for id, info := range p.peers {
+		if now-info.lastHeard > p.cfg.NeighborTTL {
+			delete(p.peers, id)
+		}
+	}
+}
+
+// --- Piece fetching (rarest piece first) ---
+
+// pump keeps the request pipeline full.
+func (p *Peer) pump() {
+	if !p.running || p.done || p.have == nil {
+		return
+	}
+	for len(p.inflight) < p.cfg.Pipeline {
+		piece, holder := p.selectPiece()
+		if piece < 0 {
+			return
+		}
+		p.requestPiece(piece, holder)
+	}
+}
+
+// selectPiece picks the rarest missing piece available from some peer,
+// preferring close neighbors over far ones as Bithoc does.
+func (p *Peer) selectPiece() (piece, holder int) {
+	bestPiece, bestHolder, bestRarity, bestHops := -1, -1, -1, 1<<30
+	for i := 0; i < p.nPieces; i++ {
+		if p.have.Test(i) {
+			continue
+		}
+		if _, in := p.inflight[i]; in {
+			continue
+		}
+		rarity := 0
+		holderID, holderHops := -1, 1<<30
+		for id, info := range p.peers {
+			if info.bm == nil || info.bm.Len() != p.nPieces {
+				continue
+			}
+			if !info.bm.Test(i) {
+				rarity++
+				continue
+			}
+			// Prefer the closest holder.
+			if info.hops < holderHops {
+				holderID, holderHops = id, info.hops
+			}
+		}
+		if holderID < 0 {
+			continue
+		}
+		better := rarity > bestRarity || (rarity == bestRarity && holderHops < bestHops)
+		if better {
+			bestPiece, bestHolder, bestRarity, bestHops = i, holderID, rarity, holderHops
+		}
+	}
+	return bestPiece, bestHolder
+}
+
+func (p *Peer) requestPiece(piece, holder int) {
+	req := []byte{msgRequest}
+	req = binary.BigEndian.AppendUint32(req, uint32(piece))
+	p.stats.RequestsSent++
+	p.reliable.Send(holder, req, nil)
+	p.inflight[piece] = p.k.Schedule(p.cfg.RequestTimeout, func() {
+		delete(p.inflight, piece)
+		p.stats.RequestRetries++
+		p.pump()
+	})
+}
+
+// --- Reliable receive path ---
+
+func (p *Peer) onReliable(src int, payload []byte) {
+	if !p.running || len(payload) < 5 {
+		return
+	}
+	switch payload[0] {
+	case msgRequest:
+		piece := int(binary.BigEndian.Uint32(payload[1:5]))
+		if p.have == nil || !p.have.Test(piece) {
+			return
+		}
+		resp := []byte{msgPiece}
+		resp = binary.BigEndian.AppendUint32(resp, uint32(piece))
+		resp = append(resp, make([]byte, p.pieceSize)...)
+		p.stats.PiecesSent++
+		p.reliable.Send(src, resp, nil)
+	case msgPiece:
+		piece := int(binary.BigEndian.Uint32(payload[1:5]))
+		if p.have == nil || piece < 0 || piece >= p.nPieces || p.have.Test(piece) {
+			return
+		}
+		p.have.Set(piece)
+		p.stats.PiecesReceived++
+		if ev, ok := p.inflight[piece]; ok {
+			ev.Cancel()
+			delete(p.inflight, piece)
+		}
+		if p.have.Full() && !p.done {
+			p.done = true
+			p.doneAt = p.k.Now()
+			for _, ev := range p.inflight {
+				ev.Cancel()
+			}
+			p.inflight = make(map[int]*sim.Event)
+			return
+		}
+		p.pump()
+	}
+}

@@ -1,0 +1,132 @@
+package bithoc
+
+import (
+	"testing"
+	"time"
+
+	"dapes/internal/geo"
+	"dapes/internal/phy"
+	"dapes/internal/sim"
+)
+
+func TestSeederToLeecher(t *testing.T) {
+	k := sim.NewKernel(81)
+	medium := phy.NewMedium(k, phy.Config{Range: 50})
+
+	seed := NewPeer(k, medium, geo.Stationary{}, Config{})
+	seed.Seed(20, 100)
+	leech := NewPeer(k, medium, geo.Stationary{At: geo.Point{X: 20}}, Config{})
+	leech.Fetch(20, 100)
+
+	seed.Start()
+	leech.Start()
+
+	ok := k.RunUntil(10*time.Minute, func() bool {
+		done, _ := leech.Done()
+		return done
+	})
+	if !ok {
+		have, total := leech.Progress()
+		t.Fatalf("download incomplete: %d/%d (stats %+v)", have, total, leech.Stats())
+	}
+	if leech.Stats().PiecesReceived != 20 {
+		t.Fatalf("pieces received = %d", leech.Stats().PiecesReceived)
+	}
+	if seed.Stats().PiecesSent != 20 {
+		t.Fatalf("pieces sent = %d", seed.Stats().PiecesSent)
+	}
+	if seed.Stats().HellosSent == 0 || leech.Stats().HellosSent == 0 {
+		t.Fatal("no HELLO flooding")
+	}
+	// DSDV proactive overhead must be present even for this tiny swarm.
+	if seed.Router().ControlTransmissions() == 0 {
+		t.Fatal("no DSDV updates")
+	}
+}
+
+func TestHelloFloodReachesTwoHops(t *testing.T) {
+	// a - b - c chain: c must learn a's bitmap through b's relay (TTL 2).
+	k := sim.NewKernel(82)
+	medium := phy.NewMedium(k, phy.Config{Range: 50})
+	a := NewPeer(k, medium, geo.Stationary{At: geo.Point{X: 0}}, Config{})
+	b := NewPeer(k, medium, geo.Stationary{At: geo.Point{X: 40}}, Config{})
+	c := NewPeer(k, medium, geo.Stationary{At: geo.Point{X: 80}}, Config{})
+	a.Seed(5, 50)
+	b.Fetch(5, 50)
+	c.Fetch(5, 50)
+	a.Start()
+	b.Start()
+	c.Start()
+	k.Run(20 * time.Second)
+
+	if _, ok := c.peers[a.ID()]; !ok {
+		t.Fatal("c never learned about a through the scoped flood")
+	}
+	if c.peers[a.ID()].hops != 2 {
+		t.Fatalf("a's hop distance at c = %d, want 2", c.peers[a.ID()].hops)
+	}
+	if b.Stats().HellosRelayed == 0 {
+		t.Fatal("b relayed no HELLOs")
+	}
+}
+
+func TestTwoLeechersCostTwiceTheUnicasts(t *testing.T) {
+	// The paper's core claim about IP baselines: each receiver needs its own
+	// unicast transmission even for identical data.
+	k := sim.NewKernel(83)
+	medium := phy.NewMedium(k, phy.Config{Range: 100})
+	seed := NewPeer(k, medium, geo.Stationary{}, Config{})
+	seed.Seed(10, 100)
+	l1 := NewPeer(k, medium, geo.Stationary{At: geo.Point{X: 20}}, Config{})
+	l2 := NewPeer(k, medium, geo.Stationary{At: geo.Point{Y: 20}}, Config{})
+	l1.Fetch(10, 100)
+	l2.Fetch(10, 100)
+	seed.Start()
+	l1.Start()
+	l2.Start()
+
+	ok := k.RunUntil(10*time.Minute, func() bool {
+		d1, _ := l1.Done()
+		d2, _ := l2.Done()
+		return d1 && d2
+	})
+	if !ok {
+		t.Fatal("downloads incomplete")
+	}
+	// Pieces flow from the seed and, rarest-first, between leechers; the
+	// total piece transmissions must be at least one per (piece, receiver).
+	total := seed.Stats().PiecesSent + l1.Stats().PiecesSent + l2.Stats().PiecesSent
+	if total < 20 {
+		t.Fatalf("piece transmissions = %d, want >= 20 (no multicast gain exists)", total)
+	}
+}
+
+func TestLeecherStallsWithoutSeeder(t *testing.T) {
+	k := sim.NewKernel(84)
+	medium := phy.NewMedium(k, phy.Config{Range: 50})
+	leech := NewPeer(k, medium, geo.Stationary{}, Config{})
+	leech.Fetch(5, 100)
+	leech.Start()
+	k.Run(time.Minute)
+	if done, _ := leech.Done(); done {
+		t.Fatal("download completed without any source")
+	}
+	if have, _ := leech.Progress(); have != 0 {
+		t.Fatal("pieces materialized from nowhere")
+	}
+}
+
+func TestStopSilences(t *testing.T) {
+	k := sim.NewKernel(85)
+	medium := phy.NewMedium(k, phy.Config{Range: 50})
+	p := NewPeer(k, medium, geo.Stationary{}, Config{})
+	p.Fetch(5, 100)
+	p.Start()
+	k.Run(10 * time.Second)
+	sent := p.Stats().HellosSent
+	p.Stop()
+	k.Run(time.Minute)
+	if p.Stats().HellosSent != sent {
+		t.Fatal("stopped peer kept flooding")
+	}
+}

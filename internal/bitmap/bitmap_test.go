@@ -1,0 +1,226 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClearCount(t *testing.T) {
+	b := New(130) // crosses word boundaries
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		b.Set(i)
+	}
+	for _, i := range idx {
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != len(idx) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(idx))
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != len(idx)-1 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	b := New(10)
+	b.Set(-1)
+	b.Set(10)
+	b.Clear(100)
+	if b.Count() != 0 {
+		t.Fatal("out-of-range Set modified bitmap")
+	}
+	if b.Test(-1) || b.Test(10) {
+		t.Fatal("out-of-range Test returned true")
+	}
+}
+
+func TestSetAllFullAndMissing(t *testing.T) {
+	b := New(70)
+	if b.Full() {
+		t.Fatal("empty bitmap reported Full")
+	}
+	b.SetAll()
+	if !b.Full() || b.Count() != 70 {
+		t.Fatalf("SetAll: count=%d", b.Count())
+	}
+	if len(b.Missing()) != 0 {
+		t.Fatal("full bitmap has missing bits")
+	}
+	b.Clear(5)
+	b.Clear(69)
+	miss := b.Missing()
+	if len(miss) != 2 || miss[0] != 5 || miss[1] != 69 {
+		t.Fatalf("Missing = %v", miss)
+	}
+	ones := b.Ones()
+	if len(ones) != 68 {
+		t.Fatalf("Ones len = %d", len(ones))
+	}
+}
+
+func TestZeroLengthBitmap(t *testing.T) {
+	b := New(0)
+	b.SetAll()
+	if b.Count() != 0 || !b.Full() {
+		t.Fatal("zero-length bitmap misbehaves")
+	}
+	rt, err := Decode(b.Encode())
+	if err != nil || rt.Len() != 0 {
+		t.Fatalf("zero-length roundtrip: %v", err)
+	}
+	if n := New(-5); n.Len() != 0 {
+		t.Fatal("negative length not clamped")
+	}
+}
+
+func TestOrAndNotMissingFrom(t *testing.T) {
+	a := New(10)
+	b := New(10)
+	a.Set(1)
+	a.Set(2)
+	a.Set(3)
+	b.Set(3)
+	b.Set(4)
+
+	missing, err := a.MissingFrom(b)
+	if err != nil || missing != 2 { // bits 1,2 set in a, clear in b
+		t.Fatalf("MissingFrom = %d, %v", missing, err)
+	}
+
+	u := a.Clone()
+	if err := u.Or(b); err != nil {
+		t.Fatal(err)
+	}
+	if u.Count() != 4 {
+		t.Fatalf("Or count = %d", u.Count())
+	}
+
+	d := a.Clone()
+	if err := d.AndNot(b); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != 2 || !d.Test(1) || !d.Test(2) {
+		t.Fatalf("AndNot wrong: %v", d.Ones())
+	}
+
+	short := New(5)
+	if err := a.Or(short); err != ErrSizeMismatch {
+		t.Fatalf("size mismatch not detected: %v", err)
+	}
+	if _, err := a.MissingFrom(short); err != ErrSizeMismatch {
+		t.Fatalf("size mismatch not detected: %v", err)
+	}
+	if err := a.AndNot(short); err != ErrSizeMismatch {
+		t.Fatalf("size mismatch not detected: %v", err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(8)
+	a.Set(1)
+	c := a.Clone()
+	c.Set(2)
+	if a.Test(2) {
+		t.Fatal("clone shares storage")
+	}
+	if !c.Equal(c.Clone()) || a.Equal(c) {
+		t.Fatal("equality wrong")
+	}
+	if a.Equal(New(9)) {
+		t.Fatal("different lengths compare equal")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := New(100)
+	for _, i := range []int{0, 7, 8, 9, 50, 99} {
+		b.Set(i)
+	}
+	rt, err := Decode(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Equal(b) {
+		t.Fatalf("roundtrip mismatch: %v vs %v", rt.Ones(), b.Ones())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+	if _, err := Decode([]byte{0, 0}); err == nil {
+		t.Fatal("short header decoded")
+	}
+	// Header claims 100 bits but payload is empty.
+	if _, err := Decode([]byte{0, 0, 0, 100}); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(setBits []uint16, size uint16) bool {
+		n := int(size%2000) + 1
+		b := New(n)
+		for _, s := range setBits {
+			b.Set(int(s) % n)
+		}
+		rt, err := Decode(b.Encode())
+		return err == nil && rt.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingFromIdentityProperty(t *testing.T) {
+	// a.MissingFrom(a) == 0 and a.MissingFrom(zero) == a.Count().
+	f := func(setBits []uint16) bool {
+		b := New(512)
+		for _, s := range setBits {
+			b.Set(int(s) % 512)
+		}
+		self, err1 := b.MissingFrom(b)
+		zero, err2 := b.MissingFrom(New(512))
+		return err1 == nil && err2 == nil && self == 0 && zero == b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRarity(t *testing.T) {
+	r := NewRarity(4)
+	// Three peers: packet 0 held by all, packet 3 held by none.
+	mk := func(bits ...int) *Bitmap {
+		b := New(4)
+		for _, i := range bits {
+			b.Set(i)
+		}
+		return b
+	}
+	for _, b := range []*Bitmap{mk(0, 1), mk(0, 2), mk(0, 1, 2)} {
+		if err := r.Observe(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Seen() != 3 {
+		t.Fatalf("Seen = %d", r.Seen())
+	}
+	want := []int{0, 1, 1, 3}
+	for i, w := range want {
+		if r.Of(i) != w {
+			t.Fatalf("Of(%d) = %d, want %d", i, r.Of(i), w)
+		}
+	}
+	if r.Of(-1) != 0 || r.Of(4) != 0 {
+		t.Fatal("out-of-range rarity nonzero")
+	}
+	if err := r.Observe(New(5)); err != ErrSizeMismatch {
+		t.Fatalf("size mismatch not detected: %v", err)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"dapes/internal/bitmap"
+	"dapes/internal/ndn"
+)
+
+// This file implements the data-advertisement exchange of Sections IV-D and
+// IV-F: bitmap Interests solicit advertisements, and bitmap Data
+// transmissions are prioritized (most-useful-first) with PEBA collision
+// mitigation.
+
+// touchSession ensures the per-encounter session state is live, resetting it
+// if the previous encounter expired.
+func (p *Peer) touchSession(cs *collectionState) *advertSession {
+	s := &cs.session
+	now := p.k.Now()
+	if s.active && now-s.lastActivity > p.cfg.SessionTTL {
+		// Previous encounter ended: priority groups and heard-bitmap unions
+		// are per encounter (Section IV-F).
+		if s.pendingTx != nil {
+			s.pendingTx.Cancel()
+		}
+		*s = advertSession{}
+	}
+	if !s.active {
+		s.active = true
+		s.heardUnion = bitmap.New(cs.manifest.TotalPackets())
+		s.backoff = p.newBackoff()
+		s.lastActivity = now
+	}
+	return s
+}
+
+// sendBitmapInterest broadcasts a bitmap Interest for the collection,
+// carrying this peer's own bitmap as the paper specifies (Section IV-D).
+func (p *Peer) sendBitmapInterest(cs *collectionState) {
+	if cs.manifest == nil {
+		return
+	}
+	p.touchSession(cs)
+	p.bitmapReqSeq++
+	in := &ndn.Interest{
+		Name:        bitmapInterestName(cs.collection),
+		CanBePrefix: true,
+		Nonce:       p.newNonce(),
+		AppParams: bitmapPayload{
+			Collection: cs.collection,
+			Owner:      p.id,
+			Bitmap:     cs.own,
+		}.encode(),
+	}
+	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+		if !p.running {
+			return
+		}
+		p.stats.BitmapInterestsSent++
+		p.medium.Broadcast(p.radio, in.Encode())
+	})
+}
+
+// handleBitmapInterest processes a received bitmap Interest: the carried
+// bitmap is an advertisement from the requester, and the request solicits
+// this peer's own (prioritized) bitmap transmission.
+func (p *Peer) handleBitmapInterest(in *ndn.Interest) {
+	payload, err := decodeBitmapPayload(in.AppParams)
+	if err != nil {
+		return
+	}
+	p.neighborHeard(payload.Owner)
+	cs, ok := p.collections[payload.Collection.String()]
+	if !ok || cs.manifest == nil {
+		// We can still use the overheard bitmap for forwarding decisions
+		// about collections we do not hold (Section V-B).
+		p.recordOverheardBitmap(payload)
+		return
+	}
+	p.observeAdvertisement(cs, payload, false)
+	s := p.touchSession(cs)
+	if !s.transmitted && s.pendingTx == nil {
+		p.scheduleBitmapTx(cs)
+	}
+}
+
+// handleBitmapData processes an advertisement transmission heard on air.
+func (p *Peer) handleBitmapData(d *ndn.Data) {
+	payload, err := decodeBitmapPayload(d.Content)
+	if err != nil {
+		return
+	}
+	p.neighborHeard(payload.Owner)
+	cs, ok := p.collections[payload.Collection.String()]
+	if !ok || cs.manifest == nil {
+		p.recordOverheardBitmap(payload)
+		return
+	}
+	p.observeAdvertisement(cs, payload, true)
+
+	s := p.touchSession(cs)
+	s.heardCount++
+	if payload.Bitmap.Len() == s.heardUnion.Len() {
+		_ = s.heardUnion.Or(payload.Bitmap)
+	}
+	s.lastActivity = p.k.Now()
+
+	// Paper's Fig.-5 example: hearing a bitmap cancels the current pending
+	// transmission and reschedules with the updated missing set.
+	if s.pendingTx != nil {
+		s.pendingTx.Cancel()
+		s.pendingTx = nil
+		p.scheduleBitmapTx(cs)
+	}
+	p.maybeStartFetch(cs)
+}
+
+// recordOverheadBitmap stores advertisements for collections this peer does
+// not itself hold, enabling informed forwarding decisions (Section V-B:
+// "intermediate peers interested in a different file collection").
+func (p *Peer) recordOverheardBitmap(payload bitmapPayload) {
+	if !p.cfg.Multihop || payload.Bitmap == nil {
+		return
+	}
+	key := payload.Collection.String()
+	cs, ok := p.collections[key]
+	if !ok {
+		cs = newCollectionState(payload.Collection)
+		p.collections[key] = cs
+	}
+	cs.avail[payload.Owner] = payload.Bitmap.Clone()
+}
+
+// observeAdvertisement folds a peer's bitmap into availability and strategy
+// state.
+func (p *Peer) observeAdvertisement(cs *collectionState, payload bitmapPayload, viaData bool) {
+	if payload.Bitmap == nil || cs.manifest == nil {
+		return
+	}
+	if payload.Bitmap.Len() != cs.manifest.TotalPackets() {
+		return
+	}
+	cs.avail[payload.Owner] = payload.Bitmap.Clone()
+	if cs.strategy != nil {
+		cs.strategy.Observe(payload.Owner, payload.Bitmap)
+	}
+	if !viaData {
+		p.maybeStartFetch(cs)
+	}
+}
+
+// priorityFraction computes the PEBA priority input: for the first bitmap of
+// an encounter, the peer's share of all packets; afterwards, its share of
+// the packets still missing from every previously transmitted bitmap.
+func (p *Peer) priorityFraction(cs *collectionState) float64 {
+	total := cs.manifest.TotalPackets()
+	if total == 0 {
+		return 0
+	}
+	s := &cs.session
+	if s.heardCount == 0 {
+		return float64(cs.own.Count()) / float64(total)
+	}
+	missing := total - s.heardUnion.Count()
+	if missing <= 0 {
+		return 0
+	}
+	mine, err := cs.own.MissingFrom(s.heardUnion)
+	if err != nil {
+		return 0
+	}
+	return float64(mine) / float64(missing)
+}
+
+// scheduleBitmapTx arms this peer's advertisement transmission using the
+// prioritized delay (PEBA or the linear ablation).
+func (p *Peer) scheduleBitmapTx(cs *collectionState) {
+	s := &cs.session
+	if s.transmitted || s.pendingTx != nil {
+		return
+	}
+	frac := p.priorityFraction(cs)
+	delay := s.backoff.Delay(frac)
+	s.pendingTx = p.k.Schedule(delay, func() {
+		s.pendingTx = nil
+		p.transmitBitmap(cs)
+	})
+}
+
+// transmitBitmap broadcasts this peer's bitmap with collision feedback; on
+// collision, PEBA doubles the slot count and the transmission is
+// rescheduled (the linear ablation retries with the same prioritized delay).
+func (p *Peer) transmitBitmap(cs *collectionState) {
+	if !p.running || cs.manifest == nil {
+		return
+	}
+	s := &cs.session
+	if s.transmitted {
+		return
+	}
+	s.txSeq++
+	d := &ndn.Data{
+		Name: bitmapDataName(cs.collection, p.id, s.txSeq),
+		Content: bitmapPayload{
+			Collection: cs.collection,
+			Owner:      p.id,
+			Bitmap:     cs.own,
+		}.encode(),
+	}
+	d.SignDigest()
+	p.stats.BitmapDataSent++
+	p.medium.BroadcastNotify(p.radio, d.Encode(), func(collided bool) {
+		if !collided {
+			s.transmitted = true
+			s.lastActivity = p.k.Now()
+			return
+		}
+		p.stats.BitmapCollisions++
+		if p.cfg.UsePEBA {
+			s.backoff.OnCollision()
+		}
+		if s.pendingTx == nil && !s.transmitted {
+			p.scheduleBitmapTx(cs)
+		}
+	})
+}
+
+// readvertise restarts the advertisement exchange, used when a subscribed
+// collection has stalled with missing packets but live neighbors.
+func (p *Peer) readvertise(cs *collectionState) {
+	s := &cs.session
+	if s.active {
+		s.transmitted = false
+	}
+	p.sendBitmapInterest(cs)
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"dapes/internal/bitmap"
+	"dapes/internal/metadata"
+	"dapes/internal/ndn"
+	"dapes/internal/sim"
+)
+
+// This file implements data fetching (Section IV-E): rarest-piece-first
+// Interest scheduling, response suppression, verification against the
+// metadata, and completion tracking.
+
+// maybeStartFetch begins (or resumes) the download pipeline according to the
+// advertisement exchange mode (Section IV-D / Figs. 9c-9d).
+func (p *Peer) maybeStartFetch(cs *collectionState) {
+	if !cs.subscribed || cs.done || cs.manifest == nil || cs.fetching {
+		return
+	}
+	s := &cs.session
+	switch p.cfg.AdvertMode {
+	case BitmapsFirst:
+		b := p.cfg.BitmapsBefore
+		if b > 0 {
+			if s.heardCount < b && !p.allNeighborsHeard(cs) {
+				return
+			}
+		} else {
+			// "All bitmaps": wait for session quiescence.
+			if !p.allNeighborsHeard(cs) {
+				quietFor := p.k.Now() - s.lastActivity
+				if quietFor < p.cfg.SessionQuiet {
+					p.k.Schedule(p.cfg.SessionQuiet-quietFor, func() { p.maybeStartFetch(cs) })
+					return
+				}
+			}
+			if s.heardCount == 0 && len(cs.avail) == 0 {
+				return
+			}
+		}
+	default: // Interleaved: fetch as soon as anything is known.
+		if s.heardCount == 0 && len(cs.avail) == 0 {
+			return
+		}
+	}
+	cs.fetching = true
+	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() { p.fetchLoop(cs) })
+}
+
+// allNeighborsHeard reports whether every live neighbor has advertised a
+// bitmap for the collection.
+func (p *Peer) allNeighborsHeard(cs *collectionState) bool {
+	if len(p.neighbors) == 0 {
+		return false
+	}
+	for id := range p.neighbors {
+		if _, ok := cs.avail[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchLoop keeps the Interest pipeline full.
+func (p *Peer) fetchLoop(cs *collectionState) {
+	if !p.running || cs.done || cs.manifest == nil {
+		cs.fetching = false
+		return
+	}
+	issued := false
+	for len(cs.inflight) < p.cfg.Pipeline {
+		idx := p.selectNext(cs)
+		if idx < 0 {
+			break
+		}
+		p.sendDataInterest(cs, idx)
+		issued = true
+	}
+	if !issued && len(cs.inflight) == 0 {
+		// Stalled: nothing eligible right now. Back off and re-advertise so
+		// fresh bitmaps can unblock us at the next encounter.
+		cs.fetching = false
+		p.k.Schedule(p.cfg.BeaconPeriodMin, func() {
+			if cs.done || cs.fetching || !p.running {
+				return
+			}
+			if len(p.neighbors) > 0 {
+				p.readvertise(cs)
+			}
+			p.maybeStartFetch(cs)
+		})
+	}
+}
+
+// selectNext applies the RPF strategy, skipping in-flight and buffered
+// (unverified) packets. With multi-hop enabled, packets nobody in range
+// advertises remain eligible — an intermediate may retrieve them
+// (Section V).
+func (p *Peer) selectNext(cs *collectionState) int {
+	skip := func(i int) bool {
+		if _, in := cs.inflight[i]; in {
+			return true
+		}
+		file, pkt, err := cs.manifest.Locate(i)
+		if err != nil {
+			return true
+		}
+		_, buffered := cs.unverified[file][pkt]
+		return buffered
+	}
+	avail := cs.availabilityUnion(cs.manifest.TotalPackets())
+	idx := cs.strategy.NextRequest(cs.own, avail, skip)
+	if idx < 0 && p.cfg.Multihop {
+		all := bitmap.New(cs.manifest.TotalPackets())
+		all.SetAll()
+		idx = cs.strategy.NextRequest(cs.own, all, skip)
+	}
+	return idx
+}
+
+// sendDataInterest broadcasts an Interest for one collection packet after
+// the random transmission timer, arming a timeout for reselection.
+func (p *Peer) sendDataInterest(cs *collectionState, idx int) {
+	name, err := cs.manifest.PacketName(idx)
+	if err != nil {
+		return
+	}
+	in := &ndn.Interest{Name: name, Nonce: p.newNonce()}
+	wire := in.Encode()
+	delay := p.k.Jitter(p.cfg.TransmissionWindow)
+	p.k.Schedule(delay, func() {
+		if !p.running || cs.own.Test(idx) {
+			return
+		}
+		p.stats.DataInterestsSent++
+		p.medium.Broadcast(p.radio, wire)
+	})
+	cs.inflight[idx] = p.k.Schedule(delay+p.cfg.InterestTimeout, func() {
+		delete(cs.inflight, idx)
+		p.stats.InterestTimeouts++
+		p.fetchLoop(cs)
+	})
+}
+
+// handleContentInterest serves collection data and metadata this peer holds;
+// otherwise it defers to the multi-hop forwarding logic (Section V).
+func (p *Peer) handleContentInterest(from int, in *ndn.Interest) {
+	for _, cs := range p.collections {
+		// Metadata segment request.
+		if cs.metaName != nil && cs.metaName.IsPrefixOf(in.Name) && in.Name.Len() == cs.metaName.Len()+1 {
+			if seq, err := in.Name.Seq(); err == nil {
+				if seg, ok := cs.metaSegs[seq]; ok && cs.manifest != nil {
+					p.scheduleReply(seg, &p.stats.MetaDataSent)
+					return
+				}
+			}
+		}
+		// Collection packet request.
+		if cs.manifest != nil {
+			if idx := cs.manifest.GlobalIndexOfName(in.Name); idx >= 0 && cs.own.Test(idx) {
+				if pkt, ok := cs.packets[idx]; ok {
+					p.scheduleReply(pkt, &p.stats.DataSent)
+					return
+				}
+			}
+		}
+	}
+	if p.cfg.Multihop {
+		p.considerForwarding(from, in)
+	}
+}
+
+// scheduleReply broadcasts a Data packet after the random transmission
+// timer, suppressing the reply if another node answers first.
+func (p *Peer) scheduleReply(d *ndn.Data, counter *uint64) {
+	key := d.Name.String()
+	if _, pending := p.pendingReplies[key]; pending {
+		return
+	}
+	p.pendingReplies[key] = p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+		delete(p.pendingReplies, key)
+		if !p.running {
+			return
+		}
+		*counter++
+		p.medium.Broadcast(p.radio, d.Encode())
+	})
+}
+
+// handleContentData processes collection data and metadata heard on air —
+// whether solicited by this peer or overheard (every broadcast transmission
+// is useful to every peer missing that packet).
+func (p *Peer) handleContentData(from int, d *ndn.Data) {
+	for _, cs := range p.collections {
+		// Metadata segment.
+		if cs.metaName != nil && cs.metaName.IsPrefixOf(d.Name) && d.Name.Len() == cs.metaName.Len()+1 {
+			if seq, err := d.Name.Seq(); err == nil {
+				p.storeMetaSegment(cs, seq, d)
+			}
+			p.maybeForwardData(d)
+			return
+		}
+		// Collection packet.
+		if cs.manifest == nil {
+			continue
+		}
+		idx := cs.manifest.GlobalIndexOfName(d.Name)
+		if idx < 0 {
+			continue
+		}
+		if cs.own.Test(idx) {
+			p.maybeForwardData(d)
+			return
+		}
+		if _, solicited := cs.inflight[idx]; solicited {
+			p.stats.PacketsReceived++
+		} else {
+			p.stats.PacketsOverheard++
+		}
+		p.storePacket(cs, idx, d)
+		p.maybeForwardData(d)
+		return
+	}
+	p.maybeForwardData(d)
+}
+
+// storePacket verifies and stores a collection packet, advancing the fetch
+// pipeline and completion state.
+func (p *Peer) storePacket(cs *collectionState, idx int, d *ndn.Data) {
+	file, pkt, err := cs.manifest.Locate(idx)
+	if err != nil {
+		return
+	}
+	switch cs.manifest.Format {
+	case metadata.FormatMerkle:
+		// Whole-file verification (Section IV-C): buffer until complete.
+		if cs.unverified[file] == nil {
+			cs.unverified[file] = make(map[int]*ndn.Data)
+		}
+		cs.unverified[file][pkt] = d
+		if len(cs.unverified[file]) == cs.manifest.Files[file].PacketCount {
+			ordered := make([]*ndn.Data, cs.manifest.Files[file].PacketCount)
+			for i := range ordered {
+				ordered[i] = cs.unverified[file][i]
+			}
+			if cs.manifest.VerifyFile(file, ordered) {
+				for i, pd := range ordered {
+					g := cs.manifest.GlobalIndex(file, i)
+					cs.packets[g] = pd
+					cs.own.Set(g)
+				}
+			} else {
+				p.stats.VerifyFailures++
+			}
+			delete(cs.unverified, file)
+		}
+	default: // FormatPacketDigest: immediate verification.
+		if !cs.manifest.VerifyPacket(idx, d) {
+			p.stats.VerifyFailures++
+			return
+		}
+		cs.packets[idx] = d
+		cs.own.Set(idx)
+	}
+
+	if ev, ok := cs.inflight[idx]; ok {
+		ev.Cancel()
+		delete(cs.inflight, idx)
+	}
+	if cs.subscribed && !cs.done && cs.complete() {
+		cs.done = true
+		cs.doneAt = p.k.Now()
+		cs.fetching = false
+		for _, ev := range cs.inflight {
+			ev.Cancel()
+		}
+		cs.inflight = make(map[int]*sim.Event)
+		if p.onComplete != nil {
+			p.onComplete(cs.collection, cs.doneAt)
+		}
+		return
+	}
+	if cs.fetching {
+		p.fetchLoop(cs)
+	} else {
+		p.maybeStartFetch(cs)
+	}
+}

@@ -1,0 +1,566 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dapes/internal/bitmap"
+	"dapes/internal/geo"
+	"dapes/internal/keys"
+	"dapes/internal/metadata"
+	"dapes/internal/ndn"
+	"dapes/internal/peba"
+	"dapes/internal/phy"
+	"dapes/internal/rpf"
+	"dapes/internal/sim"
+)
+
+// forwardRecord tracks one forwarded Interest awaiting Data (Section V).
+type forwardRecord struct {
+	at       time.Duration
+	answered bool
+}
+
+// Peer is one DAPES node: producer, downloader, repository, or intermediate.
+// A Peer is driven entirely by the simulation kernel; it is not safe for
+// concurrent use from multiple goroutines.
+type Peer struct {
+	id     int
+	k      *sim.Kernel
+	medium *phy.Medium
+	radio  *phy.Radio
+	key    *keys.Key
+	trust  *keys.TrustStore
+	cfg    Config
+	stats  Stats
+
+	collections map[string]*collectionState
+	wanted      []ndn.Name
+	neighbors   map[int]*neighbor
+
+	beaconPeriod   time.Duration
+	beaconEv       *sim.Event
+	sweepEv        *sim.Event
+	recentActivity bool
+	lastReplyAt    time.Duration
+	replySeq       int
+	bitmapReqSeq   int
+
+	nonceSeen      map[uint32]time.Duration
+	pendingReplies map[string]*sim.Event
+	forwarded      map[string]*forwardRecord
+	suppressed     map[string]time.Duration
+
+	running    bool
+	onComplete func(collection ndn.Name, at time.Duration)
+}
+
+// NewPeer attaches a peer to the medium with the given mobility. key may be
+// nil (packets use digest integrity only); trust may be nil (metadata
+// signature checks are skipped), matching the simulation configurations.
+func NewPeer(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, key *keys.Key, trust *keys.TrustStore, cfg Config) *Peer {
+	p := &Peer{
+		k:              k,
+		medium:         medium,
+		key:            key,
+		trust:          trust,
+		cfg:            cfg.withDefaults(),
+		collections:    make(map[string]*collectionState),
+		neighbors:      make(map[int]*neighbor),
+		nonceSeen:      make(map[uint32]time.Duration),
+		pendingReplies: make(map[string]*sim.Event),
+		forwarded:      make(map[string]*forwardRecord),
+		suppressed:     make(map[string]time.Duration),
+	}
+	p.radio = medium.Attach(mobility)
+	p.id = p.radio.ID()
+	p.beaconPeriod = p.cfg.BeaconPeriodMin
+	p.radio.SetHandler(p.onFrame)
+	return p
+}
+
+// ID returns the peer's network-wide identifier (its radio ID).
+func (p *Peer) ID() int { return p.id }
+
+// Stats returns a copy of the peer's protocol counters.
+func (p *Peer) Stats() Stats { return p.stats }
+
+// Config returns the peer's effective configuration.
+func (p *Peer) Config() Config { return p.cfg }
+
+// SetOnComplete installs a callback invoked when a subscribed collection
+// finishes downloading.
+func (p *Peer) SetOnComplete(fn func(collection ndn.Name, at time.Duration)) {
+	p.onComplete = fn
+}
+
+// Start begins discovery beaconing and housekeeping.
+func (p *Peer) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.beaconEv = p.k.Schedule(p.k.Jitter(p.beaconPeriod), p.beaconTick)
+	p.sweepEv = p.k.Schedule(p.cfg.NeighborTTL/2, p.sweepTick)
+}
+
+// Stop halts beaconing; in-flight timers drain harmlessly.
+func (p *Peer) Stop() {
+	p.running = false
+	if p.beaconEv != nil {
+		p.beaconEv.Cancel()
+	}
+	if p.sweepEv != nil {
+		p.sweepEv.Cancel()
+	}
+}
+
+// Subscribe declares interest in any collection whose name matches prefix.
+func (p *Peer) Subscribe(prefix ndn.Name) {
+	p.wanted = append(p.wanted, prefix.Clone())
+}
+
+// Publish installs a locally produced collection: the peer holds every
+// packet, serves metadata, and advertises full bitmaps.
+func (p *Peer) Publish(res *metadata.BuildResult) error {
+	m := res.Manifest
+	segs, err := m.Segment(p.cfg.MetaSegmentSize, p.signer())
+	if err != nil {
+		return fmt.Errorf("core: publish %s: %w", m.Collection, err)
+	}
+	cs := newCollectionState(m.Collection)
+	cs.metaName = m.MetadataName()
+	cs.manifest = m
+	cs.metaTotal = len(segs)
+	for i, s := range segs {
+		cs.metaSegs[i] = s
+	}
+	p.initManifest(cs)
+	for i, pkt := range res.Packets {
+		cs.packets[i] = pkt
+		cs.own.Set(i)
+	}
+	cs.done = true
+	p.collections[cs.key()] = cs
+	return nil
+}
+
+// signer returns the peer's key as an ndn.Signer, or nil.
+func (p *Peer) signer() ndn.Signer {
+	if p.key == nil {
+		return nil
+	}
+	return p.key
+}
+
+// Progress reports verified packets over total for a collection (0, 0 when
+// the collection or its metadata is unknown).
+func (p *Peer) Progress(collection ndn.Name) (have, total int) {
+	cs, ok := p.collections[collection.String()]
+	if !ok {
+		return 0, 0
+	}
+	return cs.progress()
+}
+
+// Done reports whether a subscribed collection has fully downloaded, and when.
+func (p *Peer) Done(collection ndn.Name) (bool, time.Duration) {
+	cs, ok := p.collections[collection.String()]
+	if !ok {
+		return false, 0
+	}
+	return cs.done, cs.doneAt
+}
+
+// HasPacket reports whether the peer holds the packet at a collection's
+// global index.
+func (p *Peer) HasPacket(collection ndn.Name, idx int) bool {
+	cs, ok := p.collections[collection.String()]
+	return ok && cs.own != nil && cs.own.Test(idx)
+}
+
+// NeighborCount returns the number of live neighbors.
+func (p *Peer) NeighborCount() int { return len(p.neighbors) }
+
+// ForwardingAccuracy returns the fraction of forwarded Interests that
+// brought Data back — the paper reports 83% for DAPES (Section VI-D).
+func (p *Peer) ForwardingAccuracy() float64 {
+	if p.stats.InterestsForwarded == 0 {
+		return 0
+	}
+	return float64(p.stats.ForwardedAnswered) / float64(p.stats.InterestsForwarded)
+}
+
+// MemoryFootprint estimates the bytes of protocol state the peer maintains:
+// neighbor tables, availability bitmaps, forwarding records, and suppression
+// timers. Table I's "system load" discussion attributes load growth to
+// exactly this state.
+func (p *Peer) MemoryFootprint() int {
+	total := 0
+	for _, n := range p.neighbors {
+		total += 32 + len(n.offers)*64
+	}
+	for _, cs := range p.collections {
+		if cs.own != nil {
+			total += cs.own.Len() / 8
+		}
+		for _, bm := range cs.avail {
+			total += bm.Len() / 8
+		}
+	}
+	total += len(p.forwarded)*48 + len(p.suppressed)*40 + len(p.nonceSeen)*12
+	return total
+}
+
+// --- Beaconing & discovery (Section IV-B) ---
+
+// beaconTick broadcasts a discovery Interest and adapts the period: halve
+// toward the minimum after recent encounters, double toward the maximum in
+// isolation.
+func (p *Peer) beaconTick() {
+	if !p.running {
+		return
+	}
+	p.sendDiscoveryInterest()
+	recent := p.recentActivity
+	now := p.k.Now()
+	for _, n := range p.neighbors {
+		if now-n.lastHeard <= p.cfg.BeaconPeriodMax {
+			recent = true
+			break
+		}
+	}
+	if recent {
+		p.beaconPeriod /= 2
+		if p.beaconPeriod < p.cfg.BeaconPeriodMin {
+			p.beaconPeriod = p.cfg.BeaconPeriodMin
+		}
+	} else {
+		p.beaconPeriod *= 2
+		if p.beaconPeriod > p.cfg.BeaconPeriodMax {
+			p.beaconPeriod = p.cfg.BeaconPeriodMax
+		}
+	}
+	p.recentActivity = false
+	p.beaconEv = p.k.Schedule(p.beaconPeriod+p.k.Jitter(p.cfg.TransmissionWindow), p.beaconTick)
+}
+
+func (p *Peer) sendDiscoveryInterest() {
+	in := &ndn.Interest{
+		Name:        discoveryInterestName(),
+		CanBePrefix: true,
+		Nonce:       p.newNonce(),
+		AppParams:   binary.BigEndian.AppendUint32(nil, uint32(p.id)),
+	}
+	p.stats.DiscoveryInterestsSent++
+	p.medium.Broadcast(p.radio, in.Encode())
+}
+
+// sweepTick expires stale neighbors and prunes bookkeeping maps.
+func (p *Peer) sweepTick() {
+	if !p.running {
+		return
+	}
+	now := p.k.Now()
+	for id, n := range p.neighbors {
+		if now-n.lastHeard > p.cfg.NeighborTTL {
+			delete(p.neighbors, id)
+			for _, cs := range p.collections {
+				delete(cs.avail, id)
+				if cs.strategy != nil {
+					cs.strategy.Disconnect(id)
+				}
+			}
+		}
+	}
+	for nonce, at := range p.nonceSeen {
+		if now-at > 4*time.Second {
+			delete(p.nonceSeen, nonce)
+		}
+	}
+	for name, until := range p.suppressed {
+		if now > until {
+			delete(p.suppressed, name)
+		}
+	}
+	for name, rec := range p.forwarded {
+		if now-rec.at > 2*p.cfg.SuppressTTL {
+			delete(p.forwarded, name)
+		}
+	}
+	p.sweepEv = p.k.Schedule(p.cfg.NeighborTTL/2, p.sweepTick)
+}
+
+// neighborHeard refreshes (or creates) neighbor state, returning it.
+func (p *Peer) neighborHeard(id int) *neighbor {
+	if id == p.id {
+		return nil
+	}
+	n, ok := p.neighbors[id]
+	if !ok {
+		n = &neighbor{id: id, offers: make(map[string]ndn.Name)}
+		p.neighbors[id] = n
+		p.recentActivity = true
+	}
+	n.lastHeard = p.k.Now()
+	return n
+}
+
+func (p *Peer) newNonce() uint32 {
+	n := uint32(p.k.RNG().Int63())
+	p.nonceSeen[n] = p.k.Now()
+	return n
+}
+
+// --- Frame dispatch ---
+
+func (p *Peer) onFrame(f phy.Frame) {
+	if !p.running {
+		return
+	}
+	if len(f.Payload) == 0 {
+		return
+	}
+	switch f.Payload[0] {
+	case 0x05:
+		if in, err := ndn.DecodeInterest(f.Payload); err == nil {
+			p.handleInterest(f.From, in)
+		}
+	case 0x06:
+		if d, err := ndn.DecodeData(f.Payload); err == nil {
+			p.handleData(f.From, d)
+		}
+	}
+}
+
+func (p *Peer) handleInterest(from int, in *ndn.Interest) {
+	if at, seen := p.nonceSeen[in.Nonce]; seen && p.k.Now()-at < 2*time.Second {
+		return // duplicate or loop
+	}
+	p.nonceSeen[in.Nonce] = p.k.Now()
+
+	if sender, ok := isDiscoveryInterest(in); ok {
+		p.neighborHeard(sender)
+		p.maybeSendDiscoveryReply()
+		return
+	}
+	if isBitmapInterest(in.Name) {
+		p.handleBitmapInterest(in)
+		return
+	}
+	if isProtocolName(in.Name) {
+		return
+	}
+	p.handleContentInterest(from, in)
+}
+
+func (p *Peer) handleData(from int, d *ndn.Data) {
+	p.neighborHeard(from)
+
+	// Response suppression: someone answered; cancel our pending reply.
+	if ev, ok := p.pendingReplies[d.Name.String()]; ok {
+		ev.Cancel()
+		delete(p.pendingReplies, d.Name.String())
+	}
+
+	if responder, ok := isDiscoveryReply(d.Name); ok {
+		p.handleDiscoveryReply(responder, d)
+		return
+	}
+	if isBitmapData(d.Name) {
+		p.handleBitmapData(d)
+		return
+	}
+	if isProtocolName(d.Name) {
+		return
+	}
+	p.handleContentData(from, d)
+}
+
+// --- Discovery replies ---
+
+// maybeSendDiscoveryReply answers a discovery Interest with the metadata
+// names this peer can offer, rate-limited to one reply per beacon minimum.
+func (p *Peer) maybeSendDiscoveryReply() {
+	var offers []ndn.Name
+	for _, cs := range p.collections {
+		if cs.manifest != nil {
+			offers = append(offers, cs.metaName)
+		}
+	}
+	if len(offers) == 0 {
+		return
+	}
+	now := p.k.Now()
+	if now-p.lastReplyAt < p.cfg.BeaconPeriodMin/2 && p.lastReplyAt != 0 {
+		return
+	}
+	p.lastReplyAt = now
+	p.replySeq++
+	d := &ndn.Data{
+		Name:    discoveryReplyName(p.id, p.replySeq),
+		Content: discoveryPayload{MetadataNames: offers}.encode(),
+	}
+	d.SignDigest()
+	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+		if !p.running {
+			return
+		}
+		p.stats.DiscoveryDataSent++
+		p.medium.Broadcast(p.radio, d.Encode())
+	})
+}
+
+// handleDiscoveryReply learns which collections a neighbor offers and kicks
+// off metadata retrieval for subscribed collections (step 2 of Fig. 3).
+func (p *Peer) handleDiscoveryReply(responder int, d *ndn.Data) {
+	n := p.neighborHeard(responder)
+	if n == nil {
+		return
+	}
+	payload, err := decodeDiscoveryPayload(d.Content)
+	if err != nil {
+		return
+	}
+	for _, metaName := range payload.MetadataNames {
+		// Metadata names end with /metadata-file/<version>; the collection
+		// is the prefix before those two components.
+		if metaName.Len() < 3 {
+			continue
+		}
+		collection := metaName.Prefix(metaName.Len() - 2)
+		n.offers[collection.String()] = metaName
+
+		if !p.wants(collection) {
+			continue
+		}
+		cs, ok := p.collections[collection.String()]
+		if !ok {
+			cs = newCollectionState(collection)
+			cs.subscribed = true
+			cs.startedAt = p.k.Now()
+			p.collections[cs.key()] = cs
+		}
+		cs.subscribed = true
+		if cs.metaName == nil {
+			cs.metaName = metaName.Clone()
+		}
+		if cs.manifest == nil {
+			p.requestNextMetaSegment(cs)
+		} else {
+			// Metadata known: (re)start the advertisement exchange.
+			p.sendBitmapInterest(cs)
+		}
+	}
+}
+
+// wants reports whether the collection matches any subscription prefix.
+func (p *Peer) wants(collection ndn.Name) bool {
+	for _, w := range p.wanted {
+		if w.IsPrefixOf(collection) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Metadata retrieval (Section IV-C) ---
+
+// requestNextMetaSegment fetches the lowest missing metadata segment, with
+// timeout-driven retries while the collection remains wanted.
+func (p *Peer) requestNextMetaSegment(cs *collectionState) {
+	if cs.manifest != nil || cs.metaPending != nil || cs.metaName == nil {
+		return
+	}
+	seq := 0
+	for {
+		if _, have := cs.metaSegs[seq]; !have {
+			break
+		}
+		seq++
+	}
+	if cs.metaTotal >= 0 && seq >= cs.metaTotal {
+		return
+	}
+	in := &ndn.Interest{Name: cs.metaName.AppendSeq(seq), Nonce: p.newNonce()}
+	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+		if !p.running || cs.manifest != nil {
+			return
+		}
+		p.stats.MetaInterestsSent++
+		p.medium.Broadcast(p.radio, in.Encode())
+	})
+	cs.metaPending = p.k.Schedule(p.cfg.InterestTimeout+p.cfg.TransmissionWindow, func() {
+		cs.metaPending = nil
+		p.requestNextMetaSegment(cs)
+	})
+}
+
+// storeMetaSegment records a received metadata segment and assembles the
+// manifest once complete.
+func (p *Peer) storeMetaSegment(cs *collectionState, seq int, d *ndn.Data) {
+	if cs.manifest != nil {
+		return
+	}
+	if _, dup := cs.metaSegs[seq]; dup {
+		return
+	}
+	total, err := metadata.SegmentCount(d)
+	if err != nil {
+		return
+	}
+	cs.metaSegs[seq] = d
+	cs.metaTotal = total
+	if cs.metaPending != nil {
+		cs.metaPending.Cancel()
+		cs.metaPending = nil
+	}
+	if len(cs.metaSegs) < total {
+		p.requestNextMetaSegment(cs)
+		return
+	}
+	segs := make([]*ndn.Data, 0, total)
+	for i := 0; i < total; i++ {
+		seg, ok := cs.metaSegs[i]
+		if !ok {
+			p.requestNextMetaSegment(cs)
+			return
+		}
+		segs = append(segs, seg)
+	}
+	var verify func(key ndn.Name, msg, sig []byte) bool
+	if p.trust != nil {
+		verify = p.trust.Verify
+	}
+	m, err := metadata.Assemble(segs, verify)
+	if err != nil {
+		// Authentication failure: discard and refetch from scratch (a
+		// different neighbor may offer authentic metadata).
+		p.stats.VerifyFailures++
+		cs.metaSegs = make(map[int]*ndn.Data)
+		cs.metaTotal = -1
+		return
+	}
+	cs.manifest = m
+	p.initManifest(cs)
+	// Step 3 of Fig. 3: advertise and solicit bitmaps.
+	p.sendBitmapInterest(cs)
+}
+
+// initManifest sizes the bitmap and instantiates the RPF strategy.
+func (p *Peer) initManifest(cs *collectionState) {
+	n := cs.manifest.TotalPackets()
+	cs.own = bitmap.New(n)
+	switch p.cfg.Strategy {
+	case EncounterBasedRPF:
+		cs.strategy = rpf.NewEncounterBased(n, p.cfg.EncounterHistory, p.cfg.RandomStart, p.k.RNG())
+	default:
+		cs.strategy = rpf.NewLocalNeighborhood(n, p.cfg.RandomStart, p.k.RNG())
+	}
+}
+
+// newBackoff builds the per-encounter PEBA state.
+func (p *Peer) newBackoff() *peba.Backoff {
+	return peba.New(p.cfg.Peba, p.k.RNG())
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"time"
+
+	"dapes/internal/bitmap"
+	"dapes/internal/metadata"
+	"dapes/internal/ndn"
+	"dapes/internal/peba"
+	"dapes/internal/rpf"
+	"dapes/internal/sim"
+)
+
+// neighbor tracks one peer currently (or recently) in communication range.
+type neighbor struct {
+	id        int
+	lastHeard time.Duration
+	// offers maps collection URI -> metadata name, learned from discovery.
+	offers map[string]ndn.Name
+}
+
+// advertSession is the per-encounter bitmap exchange state (Section IV-F):
+// the union of previously transmitted bitmaps, PEBA backoff, and this peer's
+// pending transmission. Sessions are reset per encounter.
+type advertSession struct {
+	active       bool
+	heardUnion   *bitmap.Bitmap
+	heardCount   int
+	transmitted  bool
+	pendingTx    *sim.Event
+	lastActivity time.Duration
+	backoff      *peba.Backoff
+	txSeq        int
+}
+
+// collectionState is everything a peer knows about one collection.
+type collectionState struct {
+	collection ndn.Name
+	metaName   ndn.Name // learned from discovery (or Publish)
+
+	// Metadata fetch progress.
+	metaSegs    map[int]*ndn.Data
+	metaTotal   int // -1 until the first segment reveals it
+	metaPending *sim.Event
+
+	manifest *metadata.Manifest // nil until assembled and verified
+
+	own     *bitmap.Bitmap
+	packets map[int]*ndn.Data // global index -> verified Data
+
+	// unverified buffers Merkle-format packets per file until the file
+	// completes and can be verified as a whole (Section IV-C).
+	unverified map[int]map[int]*ndn.Data // file -> pkt -> data
+
+	strategy rpf.Strategy
+
+	// availability: latest advertised bitmap per neighbor.
+	avail map[int]*bitmap.Bitmap
+
+	session advertSession
+
+	// inflight data Interests: global index -> timeout event.
+	inflight map[int]*sim.Event
+	fetching bool
+
+	startedAt  time.Duration
+	doneAt     time.Duration
+	done       bool
+	subscribed bool // this peer wants to download the collection
+}
+
+func newCollectionState(collection ndn.Name) *collectionState {
+	return &collectionState{
+		collection: collection.Clone(),
+		metaSegs:   make(map[int]*ndn.Data),
+		metaTotal:  -1,
+		packets:    make(map[int]*ndn.Data),
+		unverified: make(map[int]map[int]*ndn.Data),
+		avail:      make(map[int]*bitmap.Bitmap),
+		inflight:   make(map[int]*sim.Event),
+	}
+}
+
+// key returns the map key for this collection.
+func (cs *collectionState) key() string { return cs.collection.String() }
+
+// availabilityUnion returns the union of all live advertised bitmaps.
+func (cs *collectionState) availabilityUnion(n int) *bitmap.Bitmap {
+	u := bitmap.New(n)
+	for _, bm := range cs.avail {
+		if bm.Len() == n {
+			// Union never fails for equal lengths.
+			_ = u.Or(bm)
+		}
+	}
+	return u
+}
+
+// complete reports whether every packet has been verified and stored.
+func (cs *collectionState) complete() bool {
+	return cs.manifest != nil && cs.own != nil && cs.own.Full()
+}
+
+// progress returns verified packets over total (0 when metadata is unknown).
+func (cs *collectionState) progress() (have, total int) {
+	if cs.manifest == nil {
+		return 0, 0
+	}
+	return cs.own.Count(), cs.manifest.TotalPackets()
+}

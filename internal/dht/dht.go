@@ -1,0 +1,407 @@
+// Package dht implements the distributed hash table substrate Ekta layers
+// over DSR: a Pastry-style key space where object keys are stored at the
+// node whose identifier is numerically closest, with greedy prefix-distance
+// routing through each node's partial view of the overlay.
+//
+// Ekta's defining property for the paper's comparison is that locating data
+// costs lookup messages across the overlay before any transfer begins; this
+// implementation reproduces those per-lookup costs over the shared medium.
+package dht
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+
+	"dapes/internal/sim"
+)
+
+// KeyBits is the identifier space width.
+const KeyBits = 32
+
+// Key is a DHT identifier.
+type Key uint32
+
+// KeyOf hashes arbitrary bytes into the identifier space.
+func KeyOf(b []byte) Key {
+	sum := sha256.Sum256(b)
+	return Key(binary.BigEndian.Uint32(sum[:4]))
+}
+
+// NodeKey derives a node's DHT identifier from its network ID.
+func NodeKey(nodeID int) Key {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(nodeID))
+	return KeyOf(b[:])
+}
+
+// distance is the circular distance between identifiers.
+func distance(a, b Key) uint32 {
+	d := uint32(a) - uint32(b)
+	if dr := uint32(b) - uint32(a); dr < d {
+		return dr
+	}
+	return d
+}
+
+// Message kinds on the overlay (first byte of a DHT payload; 0x20 base
+// distinguishes DHT traffic from Ekta's application messages).
+const (
+	msgLookup   = 0x20
+	msgFound    = 0x21
+	msgStore    = 0x22
+	msgJoin     = 0x23
+	msgNodes    = 0x24
+	msgStoreAck = 0x25
+)
+
+// Transport sends DHT payloads between overlay nodes (implemented by
+// transport.Datagram over DSR in Ekta).
+type Transport interface {
+	Send(dst int, payload []byte) bool
+}
+
+// Config parameterizes a node.
+type Config struct {
+	// LookupTimeout bounds one lookup before failure is reported.
+	LookupTimeout time.Duration
+	// ViewSize bounds the partial view (leaf set + routing entries).
+	ViewSize int
+	// MigrateRetry is the minimum interval between re-offers of a key to
+	// its (closer) owner. Keys are replicated rather than moved: the local
+	// copy survives until the owner's copy is confirmed by the overlay
+	// (best-effort re-offers cover lost transfers on the lossy medium).
+	MigrateRetry time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.LookupTimeout == 0 {
+		c.LookupTimeout = 12 * time.Second
+	}
+	if c.ViewSize == 0 {
+		// Large enough that views converge to full membership in the
+		// paper-scale swarms (tens of nodes); stand-in for Pastry's
+		// leaf-set consistency, which guarantees that store placement and
+		// lookup routing agree on the responsible node.
+		c.ViewSize = 64
+	}
+	if c.MigrateRetry == 0 {
+		c.MigrateRetry = 5 * time.Second
+	}
+	return c
+}
+
+// Node is one DHT participant.
+type Node struct {
+	id       int
+	key      Key
+	k        *sim.Kernel
+	tr       Transport
+	cfg      Config
+	view     map[int]Key            // nodeID -> key
+	data     map[Key][]byte         // locally stored key/value pairs
+	migrated map[Key]migrationState // re-offer bookkeeping per foreign-owned key
+
+	nextLookup uint32
+	lookups    map[uint32]*lookup
+
+	// Messages counts DHT overlay messages sent (Ekta's search overhead).
+	Messages uint64
+}
+
+type lookup struct {
+	key    Key
+	timer  *sim.Event
+	onDone func(value []byte, holder int, ok bool)
+}
+
+// migrationState tracks re-offers of a key to its closer owner: offers
+// repeat (spaced MigrateRetry apart, bounded) until the owner acknowledges,
+// and restart if the believed owner changes as the view evolves. This keeps
+// the mapping alive across a lossy medium without a permanent re-offer storm.
+type migrationState struct {
+	target   int
+	last     time.Duration
+	attempts int
+	acked    bool
+}
+
+// maxMigrateAttempts bounds per-owner re-offers of one key.
+const maxMigrateAttempts = 10
+
+// NewNode creates a DHT node for the given network ID.
+func NewNode(k *sim.Kernel, nodeID int, tr Transport, cfg Config) *Node {
+	return &Node{
+		id:       nodeID,
+		key:      NodeKey(nodeID),
+		k:        k,
+		tr:       tr,
+		cfg:      cfg.withDefaults(),
+		view:     make(map[int]Key),
+		data:     make(map[Key][]byte),
+		migrated: make(map[Key]migrationState),
+		lookups:  make(map[uint32]*lookup),
+	}
+}
+
+// ID returns the node's network identifier.
+func (n *Node) ID() int { return n.id }
+
+// Key returns the node's overlay identifier.
+func (n *Node) Key() Key { return n.key }
+
+// ViewSize returns the number of known overlay nodes.
+func (n *Node) ViewSize() int { return len(n.view) }
+
+// Contacts returns the known overlay node IDs.
+func (n *Node) Contacts() []int {
+	out := make([]int, 0, len(n.view))
+	for id := range n.view {
+		out = append(out, id)
+	}
+	return out
+}
+
+// AddContact seeds the node's view (bootstrap).
+func (n *Node) AddContact(nodeID int) {
+	if nodeID == n.id {
+		return
+	}
+	n.view[nodeID] = NodeKey(nodeID)
+	n.trimView()
+}
+
+// trimView evicts the contacts farthest from our key beyond ViewSize,
+// Pastry-leaf-set style.
+func (n *Node) trimView() {
+	for len(n.view) > n.cfg.ViewSize {
+		worstID, worstDist := -1, uint32(0)
+		for id, key := range n.view {
+			if d := distance(key, n.key); worstID == -1 || d > worstDist {
+				worstID, worstDist = id, d
+			}
+		}
+		delete(n.view, worstID)
+	}
+}
+
+// closest returns the known node (possibly self) nearest to key.
+func (n *Node) closest(key Key) (nodeID int, dist uint32) {
+	nodeID, dist = n.id, distance(n.key, key)
+	for id, nk := range n.view {
+		if d := distance(nk, key); d < dist {
+			nodeID, dist = id, d
+		}
+	}
+	return nodeID, dist
+}
+
+// Join announces this node to a bootstrap contact, populating views.
+func (n *Node) Join(bootstrap int) {
+	n.AddContact(bootstrap)
+	msg := []byte{msgJoin}
+	msg = binary.BigEndian.AppendUint32(msg, uint32(n.id))
+	n.Messages++
+	n.tr.Send(bootstrap, msg)
+}
+
+// Store places value under key: a local replica is kept, and the key is
+// offered to its responsible node via migrate (with retries), so a single
+// lost transfer cannot erase the mapping.
+func (n *Node) Store(key Key, value []byte) {
+	n.data[key] = append([]byte(nil), value...)
+	delete(n.migrated, key)
+	n.migrate()
+}
+
+// Lookup resolves key to its stored value and holder, invoking onDone when
+// the overlay answers or the timeout passes.
+func (n *Node) Lookup(key Key, onDone func(value []byte, holder int, ok bool)) {
+	if v, ok := n.data[key]; ok {
+		onDone(v, n.id, true)
+		return
+	}
+	n.nextLookup++
+	id := n.nextLookup
+	lk := &lookup{key: key, onDone: onDone}
+	n.lookups[id] = lk
+	lk.timer = n.k.Schedule(n.cfg.LookupTimeout, func() {
+		if _, live := n.lookups[id]; !live {
+			return
+		}
+		delete(n.lookups, id)
+		onDone(nil, 0, false)
+	})
+	n.routeLookup(id, n.id, key)
+}
+
+func (n *Node) routeLookup(lookupID uint32, origin int, key Key) {
+	target, dist := n.closest(key)
+	if target == n.id || dist >= distance(n.key, key) {
+		// We are (or believe we are) responsible; answer the origin.
+		n.answer(lookupID, origin, key)
+		return
+	}
+	msg := []byte{msgLookup}
+	msg = binary.BigEndian.AppendUint32(msg, lookupID)
+	msg = binary.BigEndian.AppendUint32(msg, uint32(origin))
+	msg = binary.BigEndian.AppendUint32(msg, uint32(key))
+	n.Messages++
+	n.tr.Send(target, msg)
+}
+
+func (n *Node) answer(lookupID uint32, origin int, key Key) {
+	value, found := n.data[key]
+	msg := []byte{msgFound}
+	msg = binary.BigEndian.AppendUint32(msg, lookupID)
+	msg = binary.BigEndian.AppendUint32(msg, uint32(key))
+	if found {
+		msg = append(msg, 1)
+		msg = binary.BigEndian.AppendUint32(msg, uint32(n.id))
+		msg = append(msg, value...)
+	} else {
+		msg = append(msg, 0)
+	}
+	if origin == n.id {
+		n.handleFound(msg[1:])
+		return
+	}
+	n.Messages++
+	n.tr.Send(origin, msg)
+}
+
+// migrate offers stored keys to their responsible nodes — the Pastry
+// behaviour of handing keys to a numerically closer node as the view grows.
+// Offers repeat every MigrateRetry until overlay traffic confirms the view,
+// and the local replica is retained, so lost transfers on the wireless
+// medium cannot erase a mapping.
+func (n *Node) migrate() {
+	now := n.k.Now()
+	for key, value := range n.data {
+		target, dist := n.closest(key)
+		if target == n.id || dist >= distance(n.key, key) {
+			continue
+		}
+		st := n.migrated[key]
+		if st.target != target {
+			st = migrationState{target: target}
+		}
+		if st.acked || st.attempts >= maxMigrateAttempts ||
+			(st.attempts > 0 && now-st.last < n.cfg.MigrateRetry) {
+			n.migrated[key] = st
+			continue
+		}
+		st.last = now
+		st.attempts++
+		n.migrated[key] = st
+		msg := []byte{msgStore}
+		msg = binary.BigEndian.AppendUint32(msg, uint32(key))
+		msg = append(msg, value...)
+		n.Messages++
+		n.tr.Send(target, msg)
+	}
+}
+
+// Receive processes an overlay payload addressed to this node. Returns true
+// when the payload was a DHT message.
+func (n *Node) Receive(src int, payload []byte) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	n.AddContact(src)
+	defer n.migrate()
+	switch payload[0] {
+	case msgJoin:
+		if len(payload) < 5 {
+			return true
+		}
+		joiner := int(binary.BigEndian.Uint32(payload[1:5]))
+		n.AddContact(joiner)
+		// Share our view so the joiner learns the overlay.
+		msg := []byte{msgNodes}
+		for id := range n.view {
+			msg = binary.BigEndian.AppendUint32(msg, uint32(id))
+		}
+		n.Messages++
+		n.tr.Send(joiner, msg)
+		return true
+	case msgNodes:
+		for pos := 1; pos+4 <= len(payload); pos += 4 {
+			n.AddContact(int(binary.BigEndian.Uint32(payload[pos:])))
+		}
+		return true
+	case msgStore:
+		if len(payload) < 5 {
+			return true
+		}
+		key := Key(binary.BigEndian.Uint32(payload[1:5]))
+		// Route closer if we are not the responsible node.
+		if target, dist := n.closest(key); target != n.id && dist < distance(n.key, key) {
+			n.Messages++
+			n.tr.Send(target, payload)
+			return true
+		}
+		n.data[key] = append([]byte(nil), payload[5:]...)
+		// Acknowledge so the offerer stops re-offering.
+		ack := []byte{msgStoreAck}
+		ack = binary.BigEndian.AppendUint32(ack, uint32(key))
+		n.Messages++
+		n.tr.Send(src, ack)
+		return true
+	case msgStoreAck:
+		if len(payload) < 5 {
+			return true
+		}
+		key := Key(binary.BigEndian.Uint32(payload[1:5]))
+		if st, ok := n.migrated[key]; ok && st.target == src {
+			st.acked = true
+			n.migrated[key] = st
+		}
+		return true
+	case msgLookup:
+		if len(payload) < 13 {
+			return true
+		}
+		lookupID := binary.BigEndian.Uint32(payload[1:5])
+		origin := int(binary.BigEndian.Uint32(payload[5:9]))
+		key := Key(binary.BigEndian.Uint32(payload[9:13]))
+		n.routeLookup(lookupID, origin, key)
+		return true
+	case msgFound:
+		n.handleFound(payload[1:])
+		return true
+	}
+	return false
+}
+
+func (n *Node) handleFound(body []byte) {
+	if len(body) < 9 {
+		return
+	}
+	lookupID := binary.BigEndian.Uint32(body[:4])
+	lk, ok := n.lookups[lookupID]
+	if !ok {
+		return
+	}
+	delete(n.lookups, lookupID)
+	lk.timer.Cancel()
+	if body[8] == 0 {
+		lk.onDone(nil, 0, false)
+		return
+	}
+	if len(body) < 13 {
+		lk.onDone(nil, 0, false)
+		return
+	}
+	holder := int(binary.BigEndian.Uint32(body[9:13]))
+	lk.onDone(append([]byte(nil), body[13:]...), holder, true)
+}
+
+// LocalData returns the number of key/value pairs stored at this node.
+func (n *Node) LocalData() int { return len(n.data) }
+
+// HasLocal reports whether the node locally stores key (diagnostics).
+func (n *Node) HasLocal(key Key) bool {
+	_, ok := n.data[key]
+	return ok
+}

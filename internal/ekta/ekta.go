@@ -1,0 +1,339 @@
+// Package ekta implements the Ekta baseline of the paper's comparison
+// (Pucha, Das & Hu): a DHT substrate integrated with DSR for locating data
+// objects in a MANET, with UDP-style datagram transfers. A downloader first
+// resolves each piece through the DHT (lookup messages across the overlay),
+// then fetches it from the holder with best-effort datagrams and
+// application-level retries.
+package ekta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dapes/internal/bitmap"
+	"dapes/internal/dht"
+	"dapes/internal/geo"
+	"dapes/internal/phy"
+	"dapes/internal/routing"
+	"dapes/internal/sim"
+	"dapes/internal/transport"
+)
+
+// Application message types (distinct from the DHT's 0x20 range).
+const (
+	msgGet   = 0x40
+	msgPiece = 0x41
+)
+
+// Config parameterizes an Ekta peer.
+type Config struct {
+	// Pipeline bounds concurrent piece operations (lookup or transfer).
+	Pipeline int
+	// GetTimeout re-arms an unanswered datagram GET.
+	GetTimeout time.Duration
+	// MaxGetRetries bounds GET retries before re-looking-up the holder.
+	MaxGetRetries int
+	// PumpPeriod drives the fetch loop even without inbound events.
+	PumpPeriod time.Duration
+	// FailureCooldown delays re-attempts of a piece whose lookup or
+	// transfer just failed, so a temporarily unreachable holder does not
+	// trigger continuous DSR discovery floods.
+	FailureCooldown time.Duration
+	// DSR configures the underlying routing protocol.
+	DSR routing.DSRConfig
+	// DHT configures the overlay node.
+	DHT dht.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pipeline == 0 {
+		c.Pipeline = 6
+	}
+	if c.GetTimeout == 0 {
+		c.GetTimeout = 1500 * time.Millisecond
+	}
+	if c.MaxGetRetries == 0 {
+		c.MaxGetRetries = 8
+	}
+	if c.PumpPeriod == 0 {
+		c.PumpPeriod = time.Second
+	}
+	if c.FailureCooldown == 0 {
+		c.FailureCooldown = 6 * time.Second
+	}
+	return c
+}
+
+// Stats counts Ekta application activity.
+type Stats struct {
+	Lookups        uint64
+	LookupFailures uint64
+	GetsSent       uint64
+	GetRetries     uint64
+	PiecesSent     uint64
+	PiecesReceived uint64
+}
+
+type pieceState struct {
+	holder  int
+	retries int
+	timer   *sim.Event
+	looking bool
+}
+
+// Peer is one Ekta node.
+type Peer struct {
+	k        *sim.Kernel
+	router   *routing.DSR
+	datagram *transport.Datagram
+	node     *dht.Node
+	cfg      Config
+	stats    Stats
+
+	swarm     string
+	nPieces   int
+	pieceSize int
+	have      *bitmap.Bitmap
+	pending   map[int]*pieceState
+	cooldown  map[int]time.Duration // piece -> retry-not-before
+	pumpCount int
+	running   bool
+	pumpEv    *sim.Event
+	done      bool
+	doneAt    time.Duration
+}
+
+// NewPeer attaches an Ekta peer to the medium.
+func NewPeer(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg Config) *Peer {
+	p := &Peer{
+		k:        k,
+		cfg:      cfg.withDefaults(),
+		pending:  make(map[int]*pieceState),
+		cooldown: make(map[int]time.Duration),
+	}
+	p.router = routing.NewDSR(k, medium, mobility, p.cfg.DSR)
+	p.datagram = transport.NewDatagram(p.router)
+	p.node = dht.NewNode(k, p.router.ID(), p.datagram, p.cfg.DHT)
+	p.datagram.SetReceive(func(src int, payload []byte) {
+		if p.node.Receive(src, payload) {
+			return
+		}
+		p.onDatagram(src, payload)
+	})
+	return p
+}
+
+// ID returns the peer's network identifier.
+func (p *Peer) ID() int { return p.router.ID() }
+
+// Stats returns a copy of the application counters.
+func (p *Peer) Stats() Stats { return p.stats }
+
+// Router exposes the underlying DSR instance.
+func (p *Peer) Router() *routing.DSR { return p.router }
+
+// DHT exposes the overlay node.
+func (p *Peer) DHT() *dht.Node { return p.node }
+
+// pieceKey derives the DHT key of a swarm piece.
+func pieceKey(swarm string, piece int) dht.Key {
+	return dht.KeyOf([]byte(fmt.Sprintf("%s/%d", swarm, piece)))
+}
+
+// Seed initializes the peer with all pieces and publishes holder pointers
+// into the DHT.
+func (p *Peer) Seed(swarm string, nPieces, pieceSize int) {
+	p.initSwarm(swarm, nPieces, pieceSize)
+	p.have.SetAll()
+	p.done = true
+	for i := 0; i < nPieces; i++ {
+		holder := binary.BigEndian.AppendUint32(nil, uint32(p.ID()))
+		p.node.Store(pieceKey(swarm, i), holder)
+	}
+}
+
+// Fetch initializes the peer as a downloader.
+func (p *Peer) Fetch(swarm string, nPieces, pieceSize int) {
+	p.initSwarm(swarm, nPieces, pieceSize)
+}
+
+func (p *Peer) initSwarm(swarm string, nPieces, pieceSize int) {
+	p.swarm = swarm
+	p.nPieces = nPieces
+	p.pieceSize = pieceSize
+	p.have = bitmap.New(nPieces)
+}
+
+// Join bootstraps the peer's DHT membership.
+func (p *Peer) Join(bootstrap int) { p.node.Join(bootstrap) }
+
+// Done reports completion and its virtual time.
+func (p *Peer) Done() (bool, time.Duration) { return p.done, p.doneAt }
+
+// Progress returns pieces held over total.
+func (p *Peer) Progress() (have, total int) {
+	if p.have == nil {
+		return 0, 0
+	}
+	return p.have.Count(), p.nPieces
+}
+
+// Start activates routing and the fetch loop.
+func (p *Peer) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.router.Start()
+	p.pumpEv = p.k.Schedule(p.k.Jitter(p.cfg.PumpPeriod), p.pumpTick)
+}
+
+// Stop deactivates the peer.
+func (p *Peer) Stop() {
+	p.running = false
+	p.router.Stop()
+	if p.pumpEv != nil {
+		p.pumpEv.Cancel()
+	}
+}
+
+func (p *Peer) pumpTick() {
+	if !p.running {
+		return
+	}
+	p.pumpCount++
+	// Periodic overlay maintenance: re-announce to a random contact so
+	// views converge toward full membership (Pastry's leaf-set exchange).
+	if p.pumpCount%8 == 0 {
+		if contacts := p.node.Contacts(); len(contacts) > 0 {
+			p.node.Join(contacts[p.k.RNG().Intn(len(contacts))])
+		}
+	}
+	p.pump()
+	p.pumpEv = p.k.Schedule(p.cfg.PumpPeriod+p.k.Jitter(p.cfg.PumpPeriod/4), p.pumpTick)
+}
+
+// pump keeps Pipeline pieces in flight: DHT lookup, then datagram fetch.
+func (p *Peer) pump() {
+	if !p.running || p.done || p.have == nil {
+		return
+	}
+	now := p.k.Now()
+	for i := 0; i < p.nPieces && len(p.pending) < p.cfg.Pipeline; i++ {
+		if p.have.Test(i) {
+			continue
+		}
+		if _, busy := p.pending[i]; busy {
+			continue
+		}
+		if until, cooling := p.cooldown[i]; cooling && now < until {
+			continue
+		}
+		p.beginPiece(i)
+	}
+}
+
+func (p *Peer) beginPiece(piece int) {
+	st := &pieceState{holder: -1, looking: true}
+	p.pending[piece] = st
+	p.stats.Lookups++
+	p.node.Lookup(pieceKey(p.swarm, piece), func(value []byte, _ int, ok bool) {
+		if p.pending[piece] != st {
+			return
+		}
+		st.looking = false
+		if !ok || len(value) < 4 {
+			p.stats.LookupFailures++
+			delete(p.pending, piece)
+			p.coolDown(piece)
+			return // retried after the cooldown
+		}
+		st.holder = int(binary.BigEndian.Uint32(value))
+		p.sendGet(piece, st)
+	})
+}
+
+func (p *Peer) sendGet(piece int, st *pieceState) {
+	get := []byte{msgGet}
+	get = binary.BigEndian.AppendUint32(get, uint32(piece))
+	p.stats.GetsSent++
+	p.datagram.Send(st.holder, get)
+	st.timer = p.k.Schedule(p.cfg.GetTimeout, func() {
+		if p.pending[piece] != st || p.have.Test(piece) {
+			return
+		}
+		st.retries++
+		if st.retries > p.cfg.MaxGetRetries {
+			// Holder unreachable: drop the stale route and retry via a
+			// fresh lookup after the cooldown.
+			p.router.InvalidateRoute(st.holder)
+			delete(p.pending, piece)
+			p.coolDown(piece)
+			p.pump()
+			return
+		}
+		if st.retries%2 == 0 {
+			// Mobility breaks cached source routes quickly; dropping the
+			// route forces rediscovery on the next attempt, standing in for
+			// DSR's route-error maintenance.
+			p.router.InvalidateRoute(st.holder)
+		}
+		p.stats.GetRetries++
+		p.sendGet(piece, st)
+	})
+}
+
+// coolDown defers re-attempts of a failed piece, with jitter so peers do not
+// resynchronize their retries.
+func (p *Peer) coolDown(piece int) {
+	p.cooldown[piece] = p.k.Now() + p.cfg.FailureCooldown + p.k.Jitter(p.cfg.FailureCooldown/2)
+}
+
+func (p *Peer) onDatagram(src int, payload []byte) {
+	if !p.running || len(payload) < 5 {
+		return
+	}
+	switch payload[0] {
+	case msgGet:
+		piece := int(binary.BigEndian.Uint32(payload[1:5]))
+		if p.have == nil || piece < 0 || piece >= p.nPieces || !p.have.Test(piece) {
+			return
+		}
+		resp := []byte{msgPiece}
+		resp = binary.BigEndian.AppendUint32(resp, uint32(piece))
+		resp = append(resp, make([]byte, p.pieceSize)...)
+		p.stats.PiecesSent++
+		p.datagram.Send(src, resp)
+	case msgPiece:
+		piece := int(binary.BigEndian.Uint32(payload[1:5]))
+		if p.have == nil || piece < 0 || piece >= p.nPieces || p.have.Test(piece) {
+			return
+		}
+		p.have.Set(piece)
+		p.stats.PiecesReceived++
+		if st, ok := p.pending[piece]; ok {
+			if st.timer != nil {
+				st.timer.Cancel()
+			}
+			delete(p.pending, piece)
+		}
+		// Ekta peers become additional holders; publish so later lookups
+		// can find a closer copy.
+		holder := binary.BigEndian.AppendUint32(nil, uint32(p.ID()))
+		p.node.Store(pieceKey(p.swarm, piece), holder)
+		if p.have.Full() && !p.done {
+			p.done = true
+			p.doneAt = p.k.Now()
+			for _, st := range p.pending {
+				if st.timer != nil {
+					st.timer.Cancel()
+				}
+			}
+			p.pending = make(map[int]*pieceState)
+			return
+		}
+		p.pump()
+	}
+}
+

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"time"
+
+	"dapes/internal/bithoc"
+	"dapes/internal/ekta"
+	"dapes/internal/geo"
+	"dapes/internal/routing"
+)
+
+// RunBithocTrial executes one Fig.-7 trial of the Bithoc baseline: DSDV
+// proactive routing, scoped HELLO flooding, TCP-like piece transfer. The 20
+// non-downloading mobile nodes run plain DSDV and forward by routing table,
+// matching the paper's setup.
+func RunBithocTrial(s Scale, wifiRange float64, trial int) (TrialResult, error) {
+	topo := buildTopology(s, wifiRange, trial)
+	pieces := s.TotalPackets()
+
+	seed := bithoc.NewPeer(topo.kernel, topo.medium, topo.producerMobility, bithoc.Config{})
+	seed.Seed(pieces, s.PacketSize)
+
+	var downloaders []*bithoc.Peer
+	addDownloader := func(m geo.Mobility) {
+		p := bithoc.NewPeer(topo.kernel, topo.medium, m, bithoc.Config{})
+		p.Fetch(pieces, s.PacketSize)
+		downloaders = append(downloaders, p)
+	}
+	for _, pos := range topo.stationaryPos {
+		addDownloader(geo.Stationary{At: pos})
+	}
+	for _, m := range topo.downloaderMobility {
+		addDownloader(m)
+	}
+
+	var routers []*routing.DSDV
+	for _, m := range topo.forwarderMobility {
+		routers = append(routers, routing.NewDSDV(topo.kernel, topo.medium, m, routing.DSDVConfig{}))
+	}
+
+	seed.Start()
+	for _, p := range downloaders {
+		p.Start()
+	}
+	for _, r := range routers {
+		r.Start()
+	}
+
+	topo.kernel.RunUntil(s.Horizon, func() bool {
+		for _, p := range downloaders {
+			if done, _ := p.Done(); !done {
+				return false
+			}
+		}
+		return true
+	})
+
+	var total time.Duration
+	completed := 0
+	for _, p := range downloaders {
+		done, at := p.Done()
+		if done {
+			completed++
+		}
+		total += censor(done, at, s.Horizon)
+	}
+	return TrialResult{
+		AvgDownloadTime: total / time.Duration(len(downloaders)),
+		Transmissions:   topo.medium.Stats().Transmissions,
+		Completed:       completed,
+		Downloaders:     len(downloaders),
+	}, nil
+}
+
+// RunEktaTrial executes one Fig.-7 trial of the Ekta baseline: DSR reactive
+// routing, Pastry-style DHT object location, UDP-like transfers.
+func RunEktaTrial(s Scale, wifiRange float64, trial int) (TrialResult, error) {
+	topo := buildTopology(s, wifiRange, trial)
+	pieces := s.TotalPackets()
+	const swarm = "field-report"
+
+	seedPeer := ekta.NewPeer(topo.kernel, topo.medium, topo.producerMobility, ekta.Config{})
+
+	var downloaders []*ekta.Peer
+	addDownloader := func(m geo.Mobility) {
+		p := ekta.NewPeer(topo.kernel, topo.medium, m, ekta.Config{})
+		downloaders = append(downloaders, p)
+	}
+	for _, pos := range topo.stationaryPos {
+		addDownloader(geo.Stationary{At: pos})
+	}
+	for _, m := range topo.downloaderMobility {
+		addDownloader(m)
+	}
+
+	var routers []*routing.DSR
+	for _, m := range topo.forwarderMobility {
+		routers = append(routers, routing.NewDSR(topo.kernel, topo.medium, m, routing.DSRConfig{}))
+	}
+
+	seedPeer.Start()
+	for _, r := range routers {
+		r.Start()
+	}
+	seedPeer.Seed(swarm, pieces, s.PacketSize)
+	for _, p := range downloaders {
+		p.Start()
+		p.Fetch(swarm, pieces, s.PacketSize)
+		p.Join(seedPeer.ID())
+	}
+
+	topo.kernel.RunUntil(s.Horizon, func() bool {
+		for _, p := range downloaders {
+			if done, _ := p.Done(); !done {
+				return false
+			}
+		}
+		return true
+	})
+
+	var total time.Duration
+	completed := 0
+	for _, p := range downloaders {
+		done, at := p.Done()
+		if done {
+			completed++
+		}
+		total += censor(done, at, s.Horizon)
+	}
+	return TrialResult{
+		AvgDownloadTime: total / time.Duration(len(downloaders)),
+		Transmissions:   topo.medium.Stats().Transmissions,
+		Completed:       completed,
+		Downloaders:     len(downloaders),
+	}, nil
+}
+
+// runBaseline aggregates trials for one baseline runner.
+func runBaseline(s Scale, wifiRange float64, run func(Scale, float64, int) (TrialResult, error)) (time.Duration, float64, error) {
+	trials := make([]TrialResult, 0, s.Trials)
+	for t := 0; t < s.Trials; t++ {
+		tr, err := run(s, wifiRange, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		trials = append(trials, tr)
+	}
+	dt, tx := aggregate(trials)
+	return dt, tx, nil
+}

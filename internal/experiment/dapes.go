@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"time"
+
+	"dapes/internal/core"
+	"dapes/internal/geo"
+	"dapes/internal/multihop"
+	"dapes/internal/ndn"
+)
+
+// DAPESOptions selects the design variant under test; the zero value is the
+// paper's default configuration (local-neighborhood RPF, random start,
+// interleaved advertisements, PEBA on, multi-hop at 20%).
+type DAPESOptions struct {
+	Strategy      core.StrategyKind
+	RandomStart   bool
+	AdvertMode    core.AdvertMode
+	BitmapsBefore int
+	UsePEBA       bool
+	Multihop      bool
+	ForwardProb   float64
+}
+
+// PaperDefaults returns the configuration Section VI-B describes.
+func PaperDefaults() DAPESOptions {
+	return DAPESOptions{
+		Strategy:    core.LocalNeighborhoodRPF,
+		RandomStart: true,
+		AdvertMode:  core.Interleaved,
+		UsePEBA:     true,
+		Multihop:    true,
+		ForwardProb: 0.2,
+	}
+}
+
+func (o DAPESOptions) coreConfig() core.Config {
+	return core.Config{
+		AdvertMode:    o.AdvertMode,
+		BitmapsBefore: o.BitmapsBefore,
+		Strategy:      o.Strategy,
+		RandomStart:   o.RandomStart,
+		UsePEBA:       o.UsePEBA,
+		Multihop:      o.Multihop,
+		ForwardProb:   o.ForwardProb,
+	}
+}
+
+// RunDAPESTrial executes one Fig.-7 trial of the DAPES stack and returns its
+// metrics.
+func RunDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptions) (TrialResult, error) {
+	topo := buildTopology(s, wifiRange, trial)
+	res, err := buildCollection(s, s.BaseSeed+int64(trial))
+	if err != nil {
+		return TrialResult{}, err
+	}
+	collection := res.Manifest.Collection
+	cfg := opts.coreConfig()
+
+	producer := core.NewPeer(topo.kernel, topo.medium, topo.producerMobility, nil, nil, cfg)
+	if err := producer.Publish(res); err != nil {
+		return TrialResult{}, err
+	}
+
+	var downloaders []*core.Peer
+	addDownloader := func(m geo.Mobility) {
+		p := core.NewPeer(topo.kernel, topo.medium, m, nil, nil, cfg)
+		p.Subscribe(collection)
+		downloaders = append(downloaders, p)
+	}
+	for _, pos := range topo.stationaryPos {
+		addDownloader(geo.Stationary{At: pos})
+	}
+	for _, m := range topo.downloaderMobility {
+		addDownloader(m)
+	}
+
+	var pures []*multihop.PureForwarder
+	var intermediates []*core.Peer
+	for i, m := range topo.forwarderMobility {
+		if i < s.PureForwarders {
+			pures = append(pures, multihop.NewPureForwarder(topo.kernel, topo.medium, m,
+				multihop.Config{ForwardProb: opts.ForwardProb}))
+			continue
+		}
+		// DAPES-aware intermediates: understand the semantics, forward based
+		// on overheard knowledge, but do not download.
+		p := core.NewPeer(topo.kernel, topo.medium, m, nil, nil, cfg)
+		intermediates = append(intermediates, p)
+	}
+
+	producer.Start()
+	for _, p := range downloaders {
+		p.Start()
+	}
+	if opts.Multihop {
+		for _, f := range pures {
+			f.Start()
+		}
+		for _, p := range intermediates {
+			p.Start()
+		}
+	}
+
+	topo.kernel.RunUntil(s.Horizon, func() bool {
+		for _, p := range downloaders {
+			if done, _ := p.Done(collection); !done {
+				return false
+			}
+		}
+		return true
+	})
+
+	return collectDAPES(topo, collection, downloaders, intermediates, pures, s.Horizon), nil
+}
+
+func collectDAPES(topo *topology, collection ndn.Name, downloaders, intermediates []*core.Peer, pures []*multihop.PureForwarder, horizon time.Duration) TrialResult {
+	var total time.Duration
+	completed := 0
+	memory := 0
+	var fwd, answered uint64
+	for _, p := range downloaders {
+		done, at := p.Done(collection)
+		if done {
+			completed++
+		}
+		total += censor(done, at, horizon)
+		memory += p.MemoryFootprint()
+		fwd += p.Stats().InterestsForwarded
+		answered += p.Stats().ForwardedAnswered
+	}
+	for _, p := range intermediates {
+		memory += p.MemoryFootprint()
+		fwd += p.Stats().InterestsForwarded
+		answered += p.Stats().ForwardedAnswered
+	}
+	for _, f := range pures {
+		fwd += f.Stats().InterestsForwarded
+		answered += f.Stats().ForwardedAnswered
+	}
+	acc := 0.0
+	if fwd > 0 {
+		acc = float64(answered) / float64(fwd)
+	}
+	return TrialResult{
+		AvgDownloadTime: total / time.Duration(len(downloaders)),
+		Transmissions:   topo.medium.Stats().Transmissions,
+		Completed:       completed,
+		Downloaders:     len(downloaders),
+		ForwardAccuracy: acc,
+		MemoryBytes:     memory,
+	}
+}
+
+// RunDAPES runs Trials trials and aggregates the paper's statistics.
+func RunDAPES(s Scale, wifiRange float64, opts DAPESOptions) (time.Duration, float64, []TrialResult, error) {
+	trials := make([]TrialResult, 0, s.Trials)
+	for t := 0; t < s.Trials; t++ {
+		tr, err := RunDAPESTrial(s, wifiRange, t, opts)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		trials = append(trials, tr)
+	}
+	dt, tx := aggregate(trials)
+	return dt, tx, trials, nil
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps unit tests fast.
+func tinyScale() Scale {
+	s := ReducedScale()
+	s.Trials = 1
+	s.NumFiles = 2
+	s.PacketsPerFile = 5
+	s.Ranges = []float64{80}
+	s.Horizon = 20 * time.Minute
+	return s
+}
+
+func TestRunDAPESTrialCompletes(t *testing.T) {
+	s := tinyScale()
+	tr, err := RunDAPESTrial(s, 80, 0, PaperDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Downloaders != s.Stationary+s.MobileDown {
+		t.Fatalf("downloaders = %d", tr.Downloaders)
+	}
+	if tr.Completed < tr.Downloaders*3/4 {
+		t.Fatalf("only %d/%d downloaders completed", tr.Completed, tr.Downloaders)
+	}
+	if tr.Transmissions == 0 {
+		t.Fatal("no transmissions recorded")
+	}
+	if tr.AvgDownloadTime <= 0 || tr.AvgDownloadTime > s.Horizon {
+		t.Fatalf("avg download time = %v", tr.AvgDownloadTime)
+	}
+}
+
+func TestRunDAPESDeterministicPerSeed(t *testing.T) {
+	s := tinyScale()
+	a, err := RunDAPESTrial(s, 80, 0, PaperDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDAPESTrial(s, 80, 0, PaperDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgDownloadTime != b.AvgDownloadTime || a.Transmissions != b.Transmissions {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d",
+			a.AvgDownloadTime, a.Transmissions, b.AvgDownloadTime, b.Transmissions)
+	}
+}
+
+func TestRunBithocTrialCompletes(t *testing.T) {
+	s := tinyScale()
+	tr, err := RunBithocTrial(s, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Completed < tr.Downloaders/2 {
+		t.Fatalf("only %d/%d bithoc downloaders completed", tr.Completed, tr.Downloaders)
+	}
+}
+
+func TestRunEktaTrialCompletes(t *testing.T) {
+	s := tinyScale()
+	tr, err := RunEktaTrial(s, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Completed < tr.Downloaders/2 {
+		t.Fatalf("only %d/%d ekta downloaders completed", tr.Completed, tr.Downloaders)
+	}
+}
+
+func TestScenariosProduceTableI(t *testing.T) {
+	s := tinyScale()
+	s.NumFiles = 1
+	tbl, err := TableI(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("Table I rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("scenario %s did not complete: %v", row[0], row)
+		}
+	}
+	// The paper's relative finding: the mobile-swarm scenario (3) finishes
+	// fastest with the fewest transmissions but the highest memory.
+	t1 := mustFloat(t, tbl.Rows[0][1])
+	t3 := mustFloat(t, tbl.Rows[2][1])
+	if t3 >= t1 {
+		t.Errorf("scenario 3 (%v s) not faster than scenario 1 (%v s)", t3, t1)
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestPercentile90(t *testing.T) {
+	if got := percentile90(nil); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	if got := percentile90([]float64{5}); got != 5 {
+		t.Fatalf("single percentile = %v", got)
+	}
+	vals := []float64{10, 1, 9, 2, 8, 3, 7, 4, 6, 5}
+	if got := percentile90(vals); got != 10 {
+		t.Fatalf("p90 of 1..10 = %v", got)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tbl.String()
+	if out == "" || len(out) < 20 {
+		t.Fatalf("table render too short: %q", out)
+	}
+}
+
+func TestLoadModelMonotonic(t *testing.T) {
+	small := loadModel(100, 100, 1000, 1<<12)
+	big := loadModel(1000, 1000, 10000, 1<<12)
+	if big.SystemCalls <= small.SystemCalls || big.ContextSwitches <= small.ContextSwitches {
+		t.Fatal("load model not monotonic in traffic")
+	}
+	stateHeavy := loadModel(100, 100, 1000, 1<<20)
+	if stateHeavy.MemoryMB <= small.MemoryMB {
+		t.Fatal("memory model ignores protocol state")
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	for _, s := range []Scale{ReducedScale(), QuickScale(), FullScale()} {
+		if s.TotalPackets() <= 0 || s.Trials <= 0 || len(s.Ranges) == 0 {
+			t.Fatalf("invalid preset: %+v", s)
+		}
+	}
+	if FullScale().TotalPackets() != 10240 {
+		t.Fatalf("full scale packets = %d, want 10240 (10 x 1MB / 1KB)", FullScale().TotalPackets())
+	}
+}

@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dapes/internal/core"
+)
+
+// Fig9a regenerates "File collection download time, different RPF
+// strategies": four series over WiFi range — {same, random} start packet x
+// {encounter-based, local-neighborhood} RPF, bitmaps-first exchange as in
+// the paper's Fig. 9a setup.
+func Fig9a(s Scale) (Table, error) {
+	series := []struct {
+		label string
+		opts  DAPESOptions
+	}{
+		{"same/encounter", fig9aOpts(core.EncounterBasedRPF, false)},
+		{"random/encounter", fig9aOpts(core.EncounterBasedRPF, true)},
+		{"same/local", fig9aOpts(core.LocalNeighborhoodRPF, false)},
+		{"random/local", fig9aOpts(core.LocalNeighborhoodRPF, true)},
+	}
+	t := Table{
+		Title:  "Fig 9a: download time (s) vs WiFi range, RPF strategies",
+		Header: append([]string{"range(m)"}, labels(series)...),
+	}
+	for _, r := range s.Ranges {
+		row := []string{fmt.Sprintf("%.0f", r)}
+		for _, sr := range series {
+			dt, _, _, err := RunDAPES(s, r, sr.opts)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtSeconds(dt))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func fig9aOpts(strategy core.StrategyKind, randomStart bool) DAPESOptions {
+	o := PaperDefaults()
+	o.Strategy = strategy
+	o.RandomStart = randomStart
+	o.AdvertMode = core.BitmapsFirst
+	o.BitmapsBefore = 0 // "fetch the bitmap of all the others"
+	return o
+}
+
+func labels[T any](series []struct {
+	label string
+	opts  T
+}) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.label
+	}
+	return out
+}
+
+// Fig9b regenerates "Transmissions, different RPF strategies (with and w/o
+// PEBA)": four series of total transmissions over WiFi range.
+func Fig9b(s Scale) (Table, error) {
+	mk := func(strategy core.StrategyKind, peba bool) DAPESOptions {
+		o := fig9aOpts(strategy, true)
+		o.UsePEBA = peba
+		return o
+	}
+	series := []struct {
+		label string
+		opts  DAPESOptions
+	}{
+		{"encounter(noPEBA)", mk(core.EncounterBasedRPF, false)},
+		{"local(noPEBA)", mk(core.LocalNeighborhoodRPF, false)},
+		{"encounter(PEBA)", mk(core.EncounterBasedRPF, true)},
+		{"local(PEBA)", mk(core.LocalNeighborhoodRPF, true)},
+	}
+	t := Table{
+		Title:  "Fig 9b: transmissions vs WiFi range, RPF x PEBA",
+		Header: append([]string{"range(m)"}, labels(series)...),
+	}
+	for _, r := range s.Ranges {
+		row := []string{fmt.Sprintf("%.0f", r)}
+		for _, sr := range series {
+			_, tx, _, err := RunDAPES(s, r, sr.opts)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtCount(tx))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// bitmapCountTable drives Fig. 9c and 9d: download time for b bitmaps
+// exchanged before (mode=BitmapsFirst) or during (mode=Interleaved) data
+// download, b in {1,2,3,4,all}.
+func bitmapCountTable(s Scale, mode core.AdvertMode, title string) (Table, error) {
+	counts := []struct {
+		label string
+		b     int
+	}{
+		{"b=1", 1}, {"b=2", 2}, {"b=3", 3}, {"b=4", 4}, {"all", 0},
+	}
+	t := Table{
+		Title:  title,
+		Header: []string{"range(m)", "b=1", "b=2", "b=3", "b=4", "all"},
+	}
+	for _, r := range s.Ranges {
+		row := []string{fmt.Sprintf("%.0f", r)}
+		for _, c := range counts {
+			o := PaperDefaults()
+			o.AdvertMode = mode
+			o.BitmapsBefore = c.b
+			dt, _, _, err := RunDAPES(s, r, o)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtSeconds(dt))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9c regenerates "download time, bitmap exchanges before data download".
+func Fig9c(s Scale) (Table, error) {
+	return bitmapCountTable(s, core.BitmapsFirst,
+		"Fig 9c: download time (s), b bitmaps BEFORE data download")
+}
+
+// Fig9d regenerates "download time, bitmap exchanges during data download".
+func Fig9d(s Scale) (Table, error) {
+	return bitmapCountTable(s, core.Interleaved,
+		"Fig 9d: download time (s), b bitmaps INTERLEAVED with data")
+}
+
+// Fig9e regenerates "download time, varying number of files": the file
+// count scales while per-file size stays fixed.
+func Fig9e(s Scale) (Table, error) {
+	multipliers := []int{1, 3, 5, 7} // paper: 10, 30, 50, 70 files
+	t := Table{
+		Title:  "Fig 9e: download time (s) vs number of files",
+		Header: []string{"range(m)"},
+	}
+	for _, m := range multipliers {
+		t.Header = append(t.Header, fmt.Sprintf("files=%d", s.NumFiles*m))
+	}
+	for _, r := range s.Ranges {
+		row := []string{fmt.Sprintf("%.0f", r)}
+		for _, m := range multipliers {
+			scaled := s
+			scaled.NumFiles = s.NumFiles * m
+			dt, _, _, err := RunDAPES(scaled, r, PaperDefaults())
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtSeconds(dt))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9f regenerates "download time, varying size of files": per-file size
+// scales while the file count stays fixed.
+func Fig9f(s Scale) (Table, error) {
+	multipliers := []int{1, 5, 10, 15} // paper: 1, 5, 10, 15 MB files
+	t := Table{
+		Title:  "Fig 9f: download time (s) vs file size",
+		Header: []string{"range(m)"},
+	}
+	for _, m := range multipliers {
+		t.Header = append(t.Header, fmt.Sprintf("size=x%d", m))
+	}
+	for _, r := range s.Ranges {
+		row := []string{fmt.Sprintf("%.0f", r)}
+		for _, m := range multipliers {
+			scaled := s
+			scaled.PacketsPerFile = s.PacketsPerFile * m
+			dt, _, _, err := RunDAPES(scaled, r, PaperDefaults())
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtSeconds(dt))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// forwardProbSeries drives Fig. 9g/9h: single-hop vs multi-hop with
+// forwarding probability 20/40/60%.
+func forwardProbSeries() []struct {
+	label string
+	opts  DAPESOptions
+} {
+	mk := func(multihop bool, prob float64) DAPESOptions {
+		o := PaperDefaults()
+		o.Multihop = multihop
+		o.ForwardProb = prob
+		return o
+	}
+	return []struct {
+		label string
+		opts  DAPESOptions
+	}{
+		{"single-hop", mk(false, 0.2)},
+		{"p=20%", mk(true, 0.2)},
+		{"p=40%", mk(true, 0.4)},
+		{"p=60%", mk(true, 0.6)},
+	}
+}
+
+// Fig9g regenerates "download time, varying forwarding probability".
+func Fig9g(s Scale) (Table, error) {
+	series := forwardProbSeries()
+	t := Table{
+		Title:  "Fig 9g: download time (s) vs forwarding probability",
+		Header: append([]string{"range(m)"}, labels(series)...),
+	}
+	for _, r := range s.Ranges {
+		row := []string{fmt.Sprintf("%.0f", r)}
+		for _, sr := range series {
+			dt, _, _, err := RunDAPES(s, r, sr.opts)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtSeconds(dt))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9h regenerates "transmissions, varying forwarding probability".
+func Fig9h(s Scale) (Table, error) {
+	series := forwardProbSeries()
+	t := Table{
+		Title:  "Fig 9h: transmissions vs forwarding probability",
+		Header: append([]string{"range(m)"}, labels(series)...),
+	}
+	for _, r := range s.Ranges {
+		row := []string{fmt.Sprintf("%.0f", r)}
+		for _, sr := range series {
+			_, tx, _, err := RunDAPES(s, r, sr.opts)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmtCount(tx))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10 regenerates the baseline comparison: download time (Fig. 10a) and
+// transmissions (Fig. 10b) for DAPES, Bithoc, and Ekta, plus the Section
+// VI-D forwarding-accuracy statistic.
+func Fig10(s Scale) (Table, Table, error) {
+	a := Table{
+		Title:  "Fig 10a: download time (s), DAPES vs IP baselines",
+		Header: []string{"range(m)", "DAPES", "Bithoc", "Ekta"},
+	}
+	b := Table{
+		Title:  "Fig 10b: transmissions, DAPES vs IP baselines",
+		Header: []string{"range(m)", "DAPES", "Bithoc", "Ekta"},
+	}
+	var accSum float64
+	var accN int
+	for _, r := range s.Ranges {
+		dt, tx, trials, err := RunDAPES(s, r, PaperDefaults())
+		if err != nil {
+			return a, b, err
+		}
+		for _, tr := range trials {
+			if tr.ForwardAccuracy > 0 {
+				accSum += tr.ForwardAccuracy
+				accN++
+			}
+		}
+		bdt, btx, err := runBaseline(s, r, RunBithocTrial)
+		if err != nil {
+			return a, b, err
+		}
+		edt, etx, err := runBaseline(s, r, RunEktaTrial)
+		if err != nil {
+			return a, b, err
+		}
+		a.Rows = append(a.Rows, []string{
+			fmt.Sprintf("%.0f", r), fmtSeconds(dt), fmtSeconds(bdt), fmtSeconds(edt),
+		})
+		b.Rows = append(b.Rows, []string{
+			fmt.Sprintf("%.0f", r), fmtCount(tx), fmtCount(btx), fmtCount(etx),
+		})
+	}
+	if accN > 0 {
+		b.Note = fmt.Sprintf("DAPES forwarding accuracy: %.0f%% of forwarded Interests brought data back (paper: 83%%)",
+			100*accSum/float64(accN))
+	}
+	return a, b, nil
+}

@@ -1,0 +1,185 @@
+// Package experiment reproduces the paper's evaluation (Section VI): the
+// Fig. 7 simulation topology, the Fig. 8 real-world scenarios, workload
+// generation, metric collection, and the parameter sweeps behind every
+// figure and table. Each experiment function returns a Table whose rows
+// mirror the series the paper plots.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Scale selects the workload size. The paper's full scale (10 x 1 MB files,
+// 1 KB packets, ten trials) is reproducible with Full, but the default
+// Reduced scale keeps each figure's regeneration to seconds while preserving
+// every qualitative relationship (see EXPERIMENTS.md).
+type Scale struct {
+	// Trials per configuration; the paper reports the 90th percentile of
+	// ten trials.
+	Trials int
+	// NumFiles and PacketsPerFile define the collection; PacketSize is the
+	// network-layer payload (paper: 1 KB).
+	NumFiles       int
+	PacketsPerFile int
+	PacketSize     int
+	// Ranges are the WiFi ranges swept (paper: 20-100 m).
+	Ranges []float64
+	// Horizon bounds one trial's virtual time.
+	Horizon time.Duration
+	// Downloaders, Mobiles, PureForwarders, Intermediates set the node mix
+	// (paper: 4 stationary + 20 mobile downloaders, 10 pure forwarders,
+	// 10 DAPES-aware intermediates).
+	Stationary     int
+	MobileDown     int
+	PureForwarders int
+	Intermediates  int
+	// LossRate is the per-reception loss probability (paper: 10%).
+	LossRate float64
+	// BaseSeed feeds per-trial deterministic seeds.
+	BaseSeed int64
+}
+
+// ReducedScale is the default: 10 files x 20 packets (200 KB collection),
+// 3 trials, 3 ranges. Roughly 1/50th of the paper's data volume.
+func ReducedScale() Scale {
+	return Scale{
+		Trials:         3,
+		NumFiles:       10,
+		PacketsPerFile: 20,
+		PacketSize:     1000,
+		Ranges:         []float64{20, 60, 100},
+		Horizon:        45 * time.Minute,
+		Stationary:     4,
+		MobileDown:     20,
+		PureForwarders: 10,
+		Intermediates:  10,
+		LossRate:       0.10,
+		BaseSeed:       1,
+	}
+}
+
+// QuickScale is the bench default: small enough for go test -bench runs.
+func QuickScale() Scale {
+	s := ReducedScale()
+	s.Trials = 1
+	s.NumFiles = 5
+	s.PacketsPerFile = 10
+	s.Ranges = []float64{40, 80}
+	s.Horizon = 30 * time.Minute
+	return s
+}
+
+// FullScale matches the paper's parameters. Regenerating a figure at this
+// scale takes hours of CPU; use for final validation runs.
+func FullScale() Scale {
+	s := ReducedScale()
+	s.Trials = 10
+	s.NumFiles = 10
+	s.PacketsPerFile = 1024 // 1 MB files at 1 KB packets
+	s.Ranges = []float64{20, 40, 60, 80, 100}
+	s.Horizon = 2 * time.Hour
+	return s
+}
+
+// TotalPackets returns the collection's packet count at this scale.
+func (s Scale) TotalPackets() int { return s.NumFiles * s.PacketsPerFile }
+
+// Table is one regenerated figure or table: a title, column header, and
+// formatted rows in the same organization the paper plots.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table for terminal output.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "   %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// TrialResult captures one simulation trial's metrics.
+type TrialResult struct {
+	// AvgDownloadTime averages completion time over the downloading nodes;
+	// nodes that missed the horizon contribute the horizon (right-censored).
+	AvgDownloadTime time.Duration
+	// Transmissions is the total frames put on the air by all nodes.
+	Transmissions uint64
+	// Completed counts downloaders that finished within the horizon.
+	Completed int
+	// Downloaders is the number of downloading nodes.
+	Downloaders int
+	// ForwardAccuracy is forwarded-Interests-answered / forwarded (DAPES).
+	ForwardAccuracy float64
+	// MemoryBytes is the aggregate protocol-state footprint (DAPES).
+	MemoryBytes int
+}
+
+// percentile90 returns the 90th-percentile value of the (sorted ascending)
+// measurement the paper reports across trials.
+func percentile90(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := (len(sorted)*9 + 9) / 10
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// aggregate folds per-trial results into the paper's reported statistics.
+func aggregate(trials []TrialResult) (downloadTime time.Duration, transmissions float64) {
+	times := make([]float64, len(trials))
+	txs := make([]float64, len(trials))
+	for i, tr := range trials {
+		times[i] = tr.AvgDownloadTime.Seconds()
+		txs[i] = float64(tr.Transmissions)
+	}
+	return time.Duration(percentile90(times) * float64(time.Second)), percentile90(txs)
+}
+
+func fmtSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.1f", d.Seconds())
+}
+
+func fmtCount(v float64) string {
+	return fmt.Sprintf("%.0f", v)
+}

@@ -1,0 +1,284 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dapes/internal/core"
+	"dapes/internal/geo"
+	"dapes/internal/ndn"
+	"dapes/internal/phy"
+	"dapes/internal/repo"
+	"dapes/internal/sim"
+)
+
+// This file reproduces the Table-I real-world feasibility study over the
+// three Fig.-8 outdoor scenarios, with scripted waypoint mobility standing
+// in for the five MacBooks.
+//
+// System-load substitution: the paper reads OS counters (context switches,
+// system calls, page faults) from macOS. This reproduction runs inside one
+// process, so those counters are modeled from the protocol events that
+// drive them on a real host: every frame send/receive costs system calls
+// and a wakeup (context switch), every timer fire costs a wakeup, and
+// protocol state growth costs pages. The coefficients below are fixed across
+// scenarios, so *relative* Table-I behaviour — the paper's point — is
+// preserved; absolute values are indicative only.
+
+// SystemLoad is the modeled Table-I resource block.
+type SystemLoad struct {
+	MemoryMB        float64
+	ContextSwitches uint64
+	SystemCalls     uint64
+	PageFaults      uint64
+}
+
+// loadModel converts protocol activity into modeled OS counters.
+//
+//	syscalls  = 4/frame sent + 2/frame received + 1 per 4 kernel events
+//	ctx-switch= 1/frame sent  + 1/frame received + 1 per 20 kernel events
+//	faults    = 1 per 4 KiB page of protocol state + 1 per 8 frames
+//	memory    = 14.5 MB process baseline + protocol state (state entries
+//	            touch whole pages, so state bytes are page-rounded x16)
+func loadModel(tx, rx, events uint64, stateBytes int) SystemLoad {
+	pages := uint64((stateBytes + 4095) / 4096 * 16)
+	return SystemLoad{
+		MemoryMB:        14.5 + float64(pages)*4096/(1<<20),
+		ContextSwitches: tx + rx + events/20,
+		SystemCalls:     4*tx + 2*rx + events/4,
+		PageFaults:      pages + (tx+rx)/8,
+	}
+}
+
+// ScenarioResult is one Table-I row.
+type ScenarioResult struct {
+	Name          string
+	DownloadTime  time.Duration
+	Transmissions uint64
+	Load          SystemLoad
+	Completed     bool
+}
+
+// scenarioWorld bundles the shared pieces of a Fig.-8 run.
+type scenarioWorld struct {
+	kernel *sim.Kernel
+	medium *phy.Medium
+	cfg    core.Config
+}
+
+func newScenarioWorld(seed int64) *scenarioWorld {
+	k := sim.NewKernel(seed)
+	return &scenarioWorld{
+		kernel: k,
+		// Outdoor campus: ~50 m WiFi range per the paper's MacBooks.
+		medium: phy.NewMedium(k, phy.Config{Range: 50, LossRate: 0.05}),
+		cfg: core.Config{
+			// Real-world runs used local-neighborhood RPF and interleaved
+			// advertisement fetching (Section VI-B2).
+			Strategy:    core.LocalNeighborhoodRPF,
+			RandomStart: true,
+			AdvertMode:  core.Interleaved,
+			UsePEBA:     true,
+			Multihop:    true,
+			ForwardProb: 0.4,
+		},
+	}
+}
+
+// Scenario1Carrier reproduces Fig. 8a: producer A's collection reaches B and
+// C only through data carrier D, who shuttles between three disconnected
+// 150 m-apart network segments.
+func Scenario1Carrier(s Scale, seed int64) (ScenarioResult, error) {
+	w := newScenarioWorld(seed)
+	res, err := smallCollection("/fig8a", s.TotalPackets(), s.PacketSize)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	coll := res.Manifest.Collection
+
+	producer := core.NewPeer(w.kernel, w.medium, geo.Stationary{At: geo.Point{X: 0, Y: 0}}, nil, nil, w.cfg)
+	if err := producer.Publish(res); err != nil {
+		return ScenarioResult{}, err
+	}
+	b := core.NewPeer(w.kernel, w.medium, geo.Stationary{At: geo.Point{X: 300, Y: 0}}, nil, nil, w.cfg)
+	c := core.NewPeer(w.kernel, w.medium, geo.Stationary{At: geo.Point{X: 300, Y: 300}}, nil, nil, w.cfg)
+	// Carrier D shuttles A -> B -> C -> A on a fixed patrol.
+	var waypoints []geo.Waypoint
+	leg := 150 * time.Second
+	stops := []geo.Point{{X: 20, Y: 0}, {X: 280, Y: 0}, {X: 280, Y: 280}}
+	for lap := 0; lap < 8; lap++ {
+		for i, pos := range stops {
+			at := time.Duration(lap*len(stops)+i) * leg
+			waypoints = append(waypoints, geo.Waypoint{At: at, Pos: pos},
+				geo.Waypoint{At: at + leg*2/3, Pos: pos})
+		}
+	}
+	d := core.NewPeer(w.kernel, w.medium, geo.NewScripted(waypoints), nil, nil, w.cfg)
+
+	downloaders := []*core.Peer{b, c, d}
+	for _, p := range downloaders {
+		p.Subscribe(coll)
+		p.Start()
+	}
+	producer.Start()
+
+	return runScenario(w, "carrier (Fig 8a)", coll, s.Horizon,
+		append(downloaders, producer), downloaders), nil
+}
+
+// Scenario2Repo reproduces Fig. 8b: producer C uploads to a stationary
+// repository; peers A and B later retrieve the collection from the repo.
+func Scenario2Repo(s Scale, seed int64) (ScenarioResult, error) {
+	w := newScenarioWorld(seed)
+	res, err := smallCollection("/fig8b", s.TotalPackets(), s.PacketSize)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	coll := res.Manifest.Collection
+
+	rp := repo.New(w.kernel, w.medium, geo.Point{X: 150, Y: 150}, nil, nil, w.cfg, coll)
+	// Producer C visits the repo, then leaves the area.
+	producer := core.NewPeer(w.kernel, w.medium, geo.NewScripted([]geo.Waypoint{
+		{At: 0, Pos: geo.Point{X: 160, Y: 150}},
+		{At: 240 * time.Second, Pos: geo.Point{X: 160, Y: 150}},
+		{At: 300 * time.Second, Pos: geo.Point{X: 1500, Y: 1500}},
+	}), nil, nil, w.cfg)
+	if err := producer.Publish(res); err != nil {
+		return ScenarioResult{}, err
+	}
+	// A and B fetch from the repo simultaneously; shared transmissions
+	// satisfy both (step 3a/3b in the figure).
+	a := core.NewPeer(w.kernel, w.medium, geo.NewScripted([]geo.Waypoint{
+		{At: 0, Pos: geo.Point{X: 1200, Y: 150}},
+		{At: 120 * time.Second, Pos: geo.Point{X: 140, Y: 150}},
+	}), nil, nil, w.cfg)
+	b := core.NewPeer(w.kernel, w.medium, geo.NewScripted([]geo.Waypoint{
+		{At: 0, Pos: geo.Point{X: 150, Y: 1200}},
+		{At: 120 * time.Second, Pos: geo.Point{X: 150, Y: 140}},
+	}), nil, nil, w.cfg)
+
+	downloaders := []*core.Peer{a, b}
+	for _, p := range downloaders {
+		p.Subscribe(coll)
+		p.Start()
+	}
+	producer.Start()
+	rp.Start()
+
+	return runScenario(w, "repository (Fig 8b)", coll, s.Horizon,
+		[]*core.Peer{a, b, producer, rp.Peer()}, downloaders), nil
+}
+
+// Scenario3Mobile reproduces Fig. 8c: four peers move through an
+// infrastructure-free area with moments of total disconnection and moments
+// of full connectivity; multi-hop chains form transiently.
+func Scenario3Mobile(s Scale, seed int64) (ScenarioResult, error) {
+	w := newScenarioWorld(seed)
+	res, err := smallCollection("/fig8c", s.TotalPackets(), s.PacketSize)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	coll := res.Manifest.Collection
+
+	// Peers patrol the corners of a 150 m square, meeting pairwise at the
+	// middle of each side and all together in the center every few minutes.
+	corner := func(x, y float64) []geo.Waypoint {
+		var pts []geo.Waypoint
+		period := 240 * time.Second
+		for lap := 0; lap < 12; lap++ {
+			base := time.Duration(lap) * period
+			pts = append(pts,
+				geo.Waypoint{At: base, Pos: geo.Point{X: x, Y: y}},
+				geo.Waypoint{At: base + 60*time.Second, Pos: geo.Point{X: x, Y: y}},
+				geo.Waypoint{At: base + 120*time.Second, Pos: geo.Point{X: 75, Y: 75}},
+				geo.Waypoint{At: base + 150*time.Second, Pos: geo.Point{X: 75, Y: 75}},
+			)
+		}
+		return pts
+	}
+	producer := core.NewPeer(w.kernel, w.medium, geo.NewScripted(corner(0, 0)), nil, nil, w.cfg)
+	if err := producer.Publish(res); err != nil {
+		return ScenarioResult{}, err
+	}
+	b := core.NewPeer(w.kernel, w.medium, geo.NewScripted(corner(150, 0)), nil, nil, w.cfg)
+	c := core.NewPeer(w.kernel, w.medium, geo.NewScripted(corner(150, 150)), nil, nil, w.cfg)
+	d := core.NewPeer(w.kernel, w.medium, geo.NewScripted(corner(0, 150)), nil, nil, w.cfg)
+
+	downloaders := []*core.Peer{b, c, d}
+	for _, p := range downloaders {
+		p.Subscribe(coll)
+		p.Start()
+	}
+	producer.Start()
+
+	return runScenario(w, "mobile swarm (Fig 8c)", coll, s.Horizon,
+		append(downloaders, producer), downloaders), nil
+}
+
+// runScenario drives a Fig.-8 world to completion and assembles the Table-I
+// row.
+func runScenario(w *scenarioWorld, name string, coll ndn.Name, horizon time.Duration, allPeers, downloaders []*core.Peer) ScenarioResult {
+	w.kernel.RunUntil(horizon, func() bool {
+		for _, p := range downloaders {
+			if done, _ := p.Done(coll); !done {
+				return false
+			}
+		}
+		return true
+	})
+
+	completed := true
+	var latest time.Duration
+	for _, p := range downloaders {
+		done, at := p.Done(coll)
+		if !done {
+			completed = false
+			at = horizon
+		}
+		if at > latest {
+			latest = at
+		}
+	}
+	state := 0
+	for _, p := range allPeers {
+		state += p.MemoryFootprint()
+	}
+	st := w.medium.Stats()
+	return ScenarioResult{
+		Name:          name,
+		DownloadTime:  latest,
+		Transmissions: st.Transmissions,
+		Load:          loadModel(st.Transmissions, st.Deliveries, w.kernel.EventsFired(), state),
+		Completed:     completed,
+	}
+}
+
+// TableI regenerates the real-world feasibility table: all three scenarios,
+// reporting download time, transmissions, and the modeled system load.
+func TableI(s Scale) (Table, error) {
+	runs := []func(Scale, int64) (ScenarioResult, error){
+		Scenario1Carrier, Scenario2Repo, Scenario3Mobile,
+	}
+	t := Table{
+		Title: "Table I: real-world feasibility scenarios (modeled system load)",
+		Header: []string{"scenario", "time(s)", "transmissions", "memory(MB)",
+			"ctx-switches", "syscalls", "page-faults", "complete"},
+	}
+	for i, run := range runs {
+		r, err := run(s, s.BaseSeed+int64(i))
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmtSeconds(r.DownloadTime),
+			fmt.Sprintf("%d", r.Transmissions),
+			fmt.Sprintf("%.2f", r.Load.MemoryMB),
+			fmt.Sprintf("%d", r.Load.ContextSwitches),
+			fmt.Sprintf("%d", r.Load.SystemCalls),
+			fmt.Sprintf("%d", r.Load.PageFaults),
+			fmt.Sprintf("%v", r.Completed),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dapes/internal/geo"
+	"dapes/internal/metadata"
+	"dapes/internal/ndn"
+	"dapes/internal/phy"
+	"dapes/internal/sim"
+)
+
+// areaSide is the Fig. 7 simulation area edge in meters.
+const areaSide = 300.0
+
+// topology is one instantiated Fig.-7 world: kernel, medium, and mobility
+// models for every node slot. Protocol stacks are attached by the per-system
+// trial runners so DAPES and the baselines ride identical node motion.
+type topology struct {
+	kernel *sim.Kernel
+	medium *phy.Medium
+
+	// producerMobility carries the initial collection.
+	producerMobility geo.Mobility
+	// stationaryPos are the repository positions.
+	stationaryPos []geo.Point
+	// downloaderMobility are the mobile downloaders' walks.
+	downloaderMobility []geo.Mobility
+	// forwarderMobility are the 20 intermediate node walks (first half pure
+	// forwarders, second half protocol-aware intermediates).
+	forwarderMobility []geo.Mobility
+}
+
+// buildTopology creates the world for one trial.
+func buildTopology(s Scale, wifiRange float64, trial int) *topology {
+	seed := s.BaseSeed + int64(trial)*7919
+	kernel := sim.NewKernel(seed)
+	medium := phy.NewMedium(kernel, phy.Config{
+		Range:    wifiRange,
+		LossRate: s.LossRate,
+	})
+	area := geo.Rect{Width: areaSide, Height: areaSide}
+	// Placement RNG is separate from the kernel stream so event timing does
+	// not perturb positions across configurations.
+	prng := rand.New(rand.NewSource(seed * 31))
+
+	walk := func() geo.Mobility {
+		return geo.NewRandomDirection(geo.RandomDirectionConfig{
+			Area:  area,
+			Start: geo.Point{X: prng.Float64() * areaSide, Y: prng.Float64() * areaSide},
+			RNG:   rand.New(rand.NewSource(prng.Int63())),
+		})
+	}
+
+	t := &topology{kernel: kernel, medium: medium}
+	t.producerMobility = walk()
+	// Repositories sit at the quadrant centers, as in the Fig. 7 snapshot.
+	t.stationaryPos = []geo.Point{
+		{X: 75, Y: 75}, {X: 225, Y: 75}, {X: 75, Y: 225}, {X: 225, Y: 225},
+	}
+	if s.Stationary < len(t.stationaryPos) {
+		t.stationaryPos = t.stationaryPos[:s.Stationary]
+	}
+	for i := 0; i < s.MobileDown; i++ {
+		t.downloaderMobility = append(t.downloaderMobility, walk())
+	}
+	for i := 0; i < s.PureForwarders+s.Intermediates; i++ {
+		t.forwarderMobility = append(t.forwarderMobility, walk())
+	}
+	return t
+}
+
+// buildCollection generates the image-file workload: NumFiles files of
+// PacketsPerFile packets with pseudo-random (incompressible) content.
+func buildCollection(s Scale, seed int64) (*metadata.BuildResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	files := make([]metadata.File, s.NumFiles)
+	for i := range files {
+		content := make([]byte, s.PacketsPerFile*s.PacketSize)
+		rng.Read(content)
+		files[i] = metadata.File{
+			Name:    fmt.Sprintf("image-%03d", i),
+			Content: content,
+		}
+	}
+	collection := ndn.ParseName(fmt.Sprintf("/field-report-%d", 1533783192+seed))
+	return metadata.BuildCollection(collection, files, s.PacketSize, metadata.FormatPacketDigest, nil)
+}
+
+// smallCollection builds a trivially small collection for scenario tests.
+func smallCollection(name string, nPackets, packetSize int) (*metadata.BuildResult, error) {
+	return metadata.BuildCollection(
+		ndn.ParseName(name),
+		[]metadata.File{{Name: "payload", Content: bytes.Repeat([]byte{0x5A}, nPackets*packetSize)}},
+		packetSize, metadata.FormatPacketDigest, nil)
+}
+
+// censor returns completion time or the horizon for incomplete downloads.
+func censor(done bool, at, horizon time.Duration) time.Duration {
+	if done {
+		return at
+	}
+	return horizon
+}

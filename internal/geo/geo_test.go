@@ -1,0 +1,193 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPointDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-3, -4}, Point{0, 0}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Distance(tt.q); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("Distance = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectContainsAndClamp(t *testing.T) {
+	r := Rect{Width: 300, Height: 300}
+	if !r.Contains(Point{150, 150}) {
+		t.Fatal("center not contained")
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{300, 300}) {
+		t.Fatal("boundary not contained")
+	}
+	if r.Contains(Point{-1, 150}) || r.Contains(Point{150, 301}) {
+		t.Fatal("outside point contained")
+	}
+	got := r.Clamp(Point{-10, 500})
+	if got != (Point{0, 300}) {
+		t.Fatalf("Clamp = %v, want {0 300}", got)
+	}
+}
+
+func TestStationary(t *testing.T) {
+	s := Stationary{At: Point{5, 7}}
+	for _, d := range []time.Duration{0, time.Second, time.Hour} {
+		if s.PositionAt(d) != (Point{5, 7}) {
+			t.Fatal("stationary node moved")
+		}
+	}
+}
+
+func TestRandomDirectionStaysInArea(t *testing.T) {
+	area := Rect{Width: 300, Height: 300}
+	w := NewRandomDirection(RandomDirectionConfig{
+		Area:  area,
+		Start: Point{150, 150},
+		RNG:   rand.New(rand.NewSource(9)),
+	})
+	for s := 0; s <= 600; s++ {
+		p := w.PositionAt(time.Duration(s) * time.Second)
+		if !area.Contains(p) {
+			t.Fatalf("position %v at t=%ds escaped area", p, s)
+		}
+	}
+}
+
+func TestRandomDirectionSpeedBounds(t *testing.T) {
+	area := Rect{Width: 300, Height: 300}
+	w := NewRandomDirection(RandomDirectionConfig{
+		Area:     area,
+		Start:    Point{150, 150},
+		MinSpeed: 2,
+		MaxSpeed: 10,
+		RNG:      rand.New(rand.NewSource(4)),
+	})
+	const step = 100 * time.Millisecond
+	prev := w.PositionAt(0)
+	for t0 := step; t0 <= 5*time.Minute; t0 += step {
+		cur := w.PositionAt(t0)
+		speed := prev.Distance(cur) / step.Seconds()
+		// Speed may briefly appear slower around a bounce within a step, but
+		// never faster than MaxSpeed.
+		if speed > 10+1e-6 {
+			t.Fatalf("observed speed %.2f m/s exceeds max at t=%v", speed, t0)
+		}
+		prev = cur
+	}
+}
+
+func TestRandomDirectionDeterminism(t *testing.T) {
+	mk := func() *RandomDirection {
+		return NewRandomDirection(RandomDirectionConfig{
+			Area:  Rect{Width: 300, Height: 300},
+			Start: Point{10, 20},
+			RNG:   rand.New(rand.NewSource(77)),
+		})
+	}
+	a, b := mk(), mk()
+	for s := 0; s < 200; s++ {
+		ta := time.Duration(s) * time.Second
+		if a.PositionAt(ta) != b.PositionAt(ta) {
+			t.Fatalf("walk diverged at %v", ta)
+		}
+	}
+}
+
+func TestRandomDirectionMonotoneQueriesMatchRandomAccess(t *testing.T) {
+	// Querying out of order must give the same answers as in order, since
+	// legs extend lazily.
+	w1 := NewRandomDirection(RandomDirectionConfig{
+		Area: Rect{Width: 100, Height: 100}, Start: Point{50, 50},
+		RNG: rand.New(rand.NewSource(5)),
+	})
+	w2 := NewRandomDirection(RandomDirectionConfig{
+		Area: Rect{Width: 100, Height: 100}, Start: Point{50, 50},
+		RNG: rand.New(rand.NewSource(5)),
+	})
+	// w1: query far future first, then earlier times.
+	far := w1.PositionAt(300 * time.Second)
+	early := w1.PositionAt(10 * time.Second)
+	// w2: in order.
+	early2 := w2.PositionAt(10 * time.Second)
+	far2 := w2.PositionAt(300 * time.Second)
+	if early != early2 || far != far2 {
+		t.Fatalf("out-of-order queries diverged: %v/%v vs %v/%v", early, far, early2, far2)
+	}
+}
+
+func TestScriptedInterpolation(t *testing.T) {
+	s := NewScripted([]Waypoint{
+		{At: 0, Pos: Point{0, 0}},
+		{At: 10 * time.Second, Pos: Point{100, 0}},
+		{At: 20 * time.Second, Pos: Point{100, 50}},
+	})
+	tests := []struct {
+		at   time.Duration
+		want Point
+	}{
+		{0, Point{0, 0}},
+		{5 * time.Second, Point{50, 0}},
+		{10 * time.Second, Point{100, 0}},
+		{15 * time.Second, Point{100, 25}},
+		{20 * time.Second, Point{100, 50}},
+		{time.Hour, Point{100, 50}},
+		{-time.Second, Point{0, 0}},
+	}
+	for _, tt := range tests {
+		got := s.PositionAt(tt.at)
+		if math.Abs(got.X-tt.want.X) > 1e-9 || math.Abs(got.Y-tt.want.Y) > 1e-9 {
+			t.Fatalf("PositionAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestScriptedEmpty(t *testing.T) {
+	s := NewScripted(nil)
+	if s.PositionAt(time.Second) != (Point{}) {
+		t.Fatal("empty script should return origin")
+	}
+}
+
+func TestScriptedDuplicateTimestamps(t *testing.T) {
+	s := NewScripted([]Waypoint{
+		{At: 0, Pos: Point{0, 0}},
+		{At: 10 * time.Second, Pos: Point{1, 1}},
+		{At: 10 * time.Second, Pos: Point{2, 2}},
+	})
+	got := s.PositionAt(10 * time.Second)
+	// Either waypoint at t=10s is acceptable, but it must not divide by zero
+	// and must be one of the scripted positions.
+	if got != (Point{1, 1}) && got != (Point{2, 2}) {
+		t.Fatalf("PositionAt(10s) = %v", got)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		d1, d2 := a.Distance(b), b.Distance(a)
+		return d1 == d2 && (d1 >= 0 || math.IsInf(d1, 1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

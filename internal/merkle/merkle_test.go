@@ -1,0 +1,149 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) []Digest {
+	out := make([]Digest, n)
+	for i := range out {
+		out[i] = HashLeaf([]byte("leaf-" + strconv.Itoa(i)))
+	}
+	return out
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSingleLeafRootIsLeaf(t *testing.T) {
+	l := leaves(1)
+	tr, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != l[0] {
+		t.Fatal("single-leaf root should equal the leaf")
+	}
+	proof, err := tr.Proof(0)
+	if err != nil || len(proof) != 0 {
+		t.Fatalf("single-leaf proof = %v, %v", proof, err)
+	}
+	if !Verify(tr.Root(), l[0], 0, proof) {
+		t.Fatal("single-leaf verify failed")
+	}
+}
+
+func TestProofVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 100} {
+		l := leaves(n)
+		tr, err := Build(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.LeafCount() != n {
+			t.Fatalf("LeafCount = %d, want %d", tr.LeafCount(), n)
+		}
+		root := tr.Root()
+		for i := 0; i < n; i++ {
+			proof, err := tr.Proof(i)
+			if err != nil {
+				t.Fatalf("n=%d proof(%d): %v", n, i, err)
+			}
+			if !Verify(root, l[i], i, proof) {
+				t.Fatalf("n=%d leaf %d failed verification", n, i)
+			}
+			// Wrong index must fail (except trees where duplication makes
+			// sibling positions coincide is impossible for distinct leaves).
+			if n > 1 && Verify(root, l[i], (i+1)%n, proof) {
+				t.Fatalf("n=%d leaf %d verified at wrong index", n, i)
+			}
+		}
+	}
+}
+
+func TestTamperedLeafFails(t *testing.T) {
+	l := leaves(8)
+	tr, _ := Build(l)
+	proof, _ := tr.Proof(3)
+	bad := HashLeaf([]byte("evil"))
+	if Verify(tr.Root(), bad, 3, proof) {
+		t.Fatal("tampered leaf verified")
+	}
+}
+
+func TestTamperedProofFails(t *testing.T) {
+	l := leaves(8)
+	tr, _ := Build(l)
+	proof, _ := tr.Proof(3)
+	proof[1][0] ^= 0xFF
+	if Verify(tr.Root(), l[3], 3, proof) {
+		t.Fatal("tampered proof verified")
+	}
+}
+
+func TestProofOutOfRange(t *testing.T) {
+	tr, _ := Build(leaves(4))
+	if _, err := tr.Proof(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tr.Proof(4); err == nil {
+		t.Fatal("past-end index accepted")
+	}
+	if Verify(tr.Root(), leaves(1)[0], -1, nil) {
+		t.Fatal("negative verify index accepted")
+	}
+}
+
+func TestRootDependsOnOrder(t *testing.T) {
+	l := leaves(4)
+	r1, err := RootOf(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := []Digest{l[1], l[0], l[2], l[3]}
+	r2, _ := RootOf(swapped)
+	if r1 == r2 {
+		t.Fatal("root insensitive to leaf order")
+	}
+}
+
+func TestLeafDomainSeparation(t *testing.T) {
+	// An interior hash must never equal a leaf hash of the concatenation.
+	a, b := HashLeaf([]byte("a")), HashLeaf([]byte("b"))
+	interior := hashPair(a, b)
+	concat := append(append([]byte{}, a[:]...), b[:]...)
+	if interior == HashLeaf(concat) || interior == sha256.Sum256(concat) {
+		t.Fatal("second-preimage domain separation missing")
+	}
+}
+
+func TestVerifyProperty(t *testing.T) {
+	f := func(contents [][]byte, pick uint8) bool {
+		if len(contents) == 0 {
+			return true
+		}
+		ls := make([]Digest, len(contents))
+		for i, c := range contents {
+			ls[i] = HashLeaf(c)
+		}
+		tr, err := Build(ls)
+		if err != nil {
+			return false
+		}
+		i := int(pick) % len(ls)
+		proof, err := tr.Proof(i)
+		if err != nil {
+			return false
+		}
+		return Verify(tr.Root(), ls[i], i, proof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

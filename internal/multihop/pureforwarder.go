@@ -1,0 +1,278 @@
+// Package multihop implements the Section-V nodes that extend DAPES across
+// multiple wireless hops without running the application: "pure forwarders"
+// that only understand NDN network-layer semantics. They cache overheard
+// Data in their Content Store, answer Interests from cache, forward
+// Interests probabilistically after a random delay, and keep suppression
+// timers for Interests that brought no Data back.
+//
+// DAPES-aware intermediates (Section V-B) are ordinary core.Peer instances
+// with Multihop enabled; this package covers the NDN-only nodes.
+package multihop
+
+import (
+	"time"
+
+	"dapes/internal/geo"
+	"dapes/internal/ndn"
+	"dapes/internal/nfd"
+	"dapes/internal/phy"
+	"dapes/internal/sim"
+)
+
+// Config parameterizes a pure forwarder.
+type Config struct {
+	// ForwardProb is the probability of forwarding an Interest that misses
+	// the Content Store (paper default 20%).
+	ForwardProb float64
+	// TransmissionWindow is the random forwarding delay bound.
+	TransmissionWindow time.Duration
+	// SuppressTTL is the per-name suppression timer armed when a forwarded
+	// Interest brings no response.
+	SuppressTTL time.Duration
+	// CsCapacity bounds the Content Store.
+	CsCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ForwardProb == 0 {
+		c.ForwardProb = 0.2
+	}
+	if c.TransmissionWindow == 0 {
+		c.TransmissionWindow = 20 * time.Millisecond
+	}
+	if c.SuppressTTL == 0 {
+		c.SuppressTTL = 2 * time.Second
+	}
+	if c.CsCapacity == 0 {
+		c.CsCapacity = 4096
+	}
+	return c
+}
+
+// Stats counts forwarder activity.
+type Stats struct {
+	InterestsHeard      uint64
+	InterestsForwarded  uint64
+	InterestsSuppressed uint64
+	CsReplies           uint64
+	DataForwarded       uint64
+	ForwardedAnswered   uint64
+}
+
+// PureForwarder is an NDN-only node on the broadcast medium.
+type PureForwarder struct {
+	id     int
+	k      *sim.Kernel
+	medium *phy.Medium
+	radio  *phy.Radio
+	cfg    Config
+	cs     *nfd.ContentStore
+	stats  Stats
+
+	nonceSeen      map[uint32]time.Duration
+	forwarded      map[string]*forwardRecord
+	suppressed     map[string]time.Duration
+	pendingReplies map[string]*sim.Event
+	running        bool
+	sweepEv        *sim.Event
+}
+
+type forwardRecord struct {
+	name        ndn.Name
+	canBePrefix bool
+	at          time.Duration
+	answered    bool
+	relayed     map[string]bool // data names already relayed (prefix interests)
+}
+
+// NewPureForwarder attaches a pure forwarder to the medium.
+func NewPureForwarder(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg Config) *PureForwarder {
+	f := &PureForwarder{
+		k:              k,
+		medium:         medium,
+		cfg:            cfg.withDefaults(),
+		nonceSeen:      make(map[uint32]time.Duration),
+		forwarded:      make(map[string]*forwardRecord),
+		suppressed:     make(map[string]time.Duration),
+		pendingReplies: make(map[string]*sim.Event),
+	}
+	f.cs = nfd.NewContentStore(f.cfg.CsCapacity)
+	f.radio = medium.Attach(mobility)
+	f.id = f.radio.ID()
+	f.radio.SetHandler(f.onFrame)
+	return f
+}
+
+// ID returns the node's radio ID.
+func (f *PureForwarder) ID() int { return f.id }
+
+// Stats returns a copy of the counters.
+func (f *PureForwarder) Stats() Stats { return f.stats }
+
+// CsLen returns the number of cached packets.
+func (f *PureForwarder) CsLen() int { return f.cs.Len() }
+
+// Start activates the node.
+func (f *PureForwarder) Start() {
+	if f.running {
+		return
+	}
+	f.running = true
+	f.sweepEv = f.k.Schedule(f.cfg.SuppressTTL, f.sweep)
+}
+
+// Stop deactivates the node.
+func (f *PureForwarder) Stop() {
+	f.running = false
+	if f.sweepEv != nil {
+		f.sweepEv.Cancel()
+	}
+}
+
+func (f *PureForwarder) sweep() {
+	if !f.running {
+		return
+	}
+	now := f.k.Now()
+	for n, until := range f.suppressed {
+		if now > until {
+			delete(f.suppressed, n)
+		}
+	}
+	for n, rec := range f.forwarded {
+		if now-rec.at > 2*f.cfg.SuppressTTL {
+			delete(f.forwarded, n)
+		}
+	}
+	for nonce, at := range f.nonceSeen {
+		if now-at > 4*time.Second {
+			delete(f.nonceSeen, nonce)
+		}
+	}
+	f.sweepEv = f.k.Schedule(f.cfg.SuppressTTL, f.sweep)
+}
+
+func (f *PureForwarder) onFrame(fr phy.Frame) {
+	if !f.running || len(fr.Payload) == 0 {
+		return
+	}
+	switch fr.Payload[0] {
+	case 0x05:
+		if in, err := ndn.DecodeInterest(fr.Payload); err == nil {
+			f.onInterest(in)
+		}
+	case 0x06:
+		if d, err := ndn.DecodeData(fr.Payload); err == nil {
+			f.onData(d)
+		}
+	}
+}
+
+func (f *PureForwarder) onInterest(in *ndn.Interest) {
+	if at, seen := f.nonceSeen[in.Nonce]; seen && f.k.Now()-at < 2*time.Second {
+		return
+	}
+	f.nonceSeen[in.Nonce] = f.k.Now()
+	f.stats.InterestsHeard++
+
+	// Satisfy from cache: overheard transmissions serve future requests.
+	if cached := f.cs.Find(in); cached != nil {
+		f.scheduleReply(cached)
+		return
+	}
+
+	key := in.Name.String()
+	if until, ok := f.suppressed[key]; ok && f.k.Now() < until {
+		f.stats.InterestsSuppressed++
+		return
+	}
+	if rec, ok := f.forwarded[key]; ok && !rec.answered && f.k.Now()-rec.at < f.cfg.SuppressTTL {
+		return // already in flight
+	}
+	if f.k.RNG().Float64() >= f.cfg.ForwardProb {
+		f.stats.InterestsSuppressed++
+		return
+	}
+	rec := &forwardRecord{
+		name:        in.Name.Clone(),
+		canBePrefix: in.CanBePrefix,
+		at:          f.k.Now(),
+		relayed:     make(map[string]bool, 1),
+	}
+	f.forwarded[key] = rec
+	wire := in.Encode()
+	f.k.Schedule(f.k.Jitter(f.cfg.TransmissionWindow), func() {
+		if !f.running {
+			return
+		}
+		f.stats.InterestsForwarded++
+		f.medium.Broadcast(f.radio, wire)
+	})
+	f.k.Schedule(f.cfg.SuppressTTL, func() {
+		if !rec.answered {
+			f.suppressed[key] = f.k.Now() + f.cfg.SuppressTTL
+		}
+	})
+}
+
+// scheduleReply answers from the Content Store after a random delay,
+// canceling if another node replies first.
+func (f *PureForwarder) scheduleReply(d *ndn.Data) {
+	key := d.Name.String()
+	if _, pending := f.pendingReplies[key]; pending {
+		return
+	}
+	f.pendingReplies[key] = f.k.Schedule(f.k.Jitter(f.cfg.TransmissionWindow), func() {
+		delete(f.pendingReplies, key)
+		if !f.running {
+			return
+		}
+		f.stats.CsReplies++
+		f.medium.Broadcast(f.radio, d.Encode())
+	})
+}
+
+func (f *PureForwarder) onData(d *ndn.Data) {
+	key := d.Name.String()
+	// Response suppression: someone else answered.
+	if ev, ok := f.pendingReplies[key]; ok {
+		ev.Cancel()
+		delete(f.pendingReplies, key)
+	}
+	// Cache every overheard transmission (Section V-A).
+	f.cs.Insert(d)
+
+	rec := f.matchForwarded(d.Name)
+	if rec == nil || rec.relayed[key] {
+		return
+	}
+	rec.relayed[key] = true
+	if !rec.answered {
+		rec.answered = true
+		f.stats.ForwardedAnswered++
+	}
+	delete(f.suppressed, rec.name.String())
+	wire := d.Encode()
+	f.k.Schedule(f.k.Jitter(f.cfg.TransmissionWindow), func() {
+		if !f.running {
+			return
+		}
+		f.stats.DataForwarded++
+		f.medium.Broadcast(f.radio, wire)
+	})
+}
+
+// matchForwarded finds a forwarded-Interest record the Data satisfies:
+// exact name, or prefix match for CanBePrefix Interests (e.g. discovery and
+// bitmap signaling whose replies extend the request name).
+func (f *PureForwarder) matchForwarded(name ndn.Name) *forwardRecord {
+	if rec, ok := f.forwarded[name.String()]; ok {
+		return rec
+	}
+	for _, rec := range f.forwarded {
+		if rec.canBePrefix && rec.name.IsPrefixOf(name) {
+			return rec
+		}
+	}
+	return nil
+}

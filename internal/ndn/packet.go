@@ -1,0 +1,293 @@
+package ndn
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+)
+
+// ContentType values for Data packets.
+const (
+	// ContentTypeBlob is ordinary application payload.
+	ContentTypeBlob uint64 = 0
+	// ContentTypeKey marks a Data packet carrying a public key.
+	ContentTypeKey uint64 = 2
+)
+
+// SignatureType values.
+const (
+	// SigTypeDigestSha256 is an integrity-only SHA-256 digest "signature".
+	SigTypeDigestSha256 uint64 = 0
+	// SigTypeEd25519 is an Ed25519 signature over the signed portion. (The
+	// NDN spec assigns 5 to Ed25519.)
+	SigTypeEd25519 uint64 = 5
+)
+
+// Interest is an NDN request for a named Data packet. DAPES carries protocol
+// state (e.g. the sender's bitmap) in ApplicationParameters.
+type Interest struct {
+	Name        Name
+	CanBePrefix bool
+	MustBeFresh bool
+	Nonce       uint32
+	Lifetime    time.Duration
+	HopLimit    uint8
+	AppParams   []byte
+}
+
+// Encode serializes the Interest to its TLV wire form.
+func (i *Interest) Encode() []byte {
+	var inner []byte
+	inner = encodeName(inner, i.Name)
+	if i.CanBePrefix {
+		inner = appendTLV(inner, tlvCanBePrefix, nil)
+	}
+	if i.MustBeFresh {
+		inner = appendTLV(inner, tlvMustBeFresh, nil)
+	}
+	nonce := []byte{byte(i.Nonce >> 24), byte(i.Nonce >> 16), byte(i.Nonce >> 8), byte(i.Nonce)}
+	inner = appendTLV(inner, tlvNonce, nonce)
+	if i.Lifetime > 0 {
+		inner = appendNonNegTLV(inner, tlvInterestLifetime, uint64(i.Lifetime/time.Millisecond))
+	}
+	if i.HopLimit > 0 {
+		inner = appendTLV(inner, tlvHopLimit, []byte{i.HopLimit})
+	}
+	if len(i.AppParams) > 0 {
+		inner = appendTLV(inner, tlvApplicationParameters, i.AppParams)
+	}
+	return appendTLV(nil, tlvInterest, inner)
+}
+
+// DecodeInterest parses a TLV-encoded Interest.
+func DecodeInterest(wire []byte) (*Interest, error) {
+	outer := &tlvReader{buf: wire}
+	body, err := outer.expect(tlvInterest)
+	if err != nil {
+		return nil, fmt.Errorf("interest: %w", err)
+	}
+	r := &tlvReader{buf: body}
+	nameVal, err := r.expect(tlvName)
+	if err != nil {
+		return nil, fmt.Errorf("interest name: %w", err)
+	}
+	name, err := decodeName(nameVal)
+	if err != nil {
+		return nil, fmt.Errorf("interest name: %w", err)
+	}
+	it := &Interest{Name: name}
+	for !r.done() {
+		typ, v, err := r.next()
+		if err != nil {
+			return nil, fmt.Errorf("interest field: %w", err)
+		}
+		switch typ {
+		case tlvCanBePrefix:
+			it.CanBePrefix = true
+		case tlvMustBeFresh:
+			it.MustBeFresh = true
+		case tlvNonce:
+			if len(v) != 4 {
+				return nil, fmt.Errorf("%w: nonce of %d bytes", ErrBadPacket, len(v))
+			}
+			it.Nonce = uint32(v[0])<<24 | uint32(v[1])<<16 | uint32(v[2])<<8 | uint32(v[3])
+		case tlvInterestLifetime:
+			ms, err := decodeNonNeg(v)
+			if err != nil {
+				return nil, err
+			}
+			it.Lifetime = time.Duration(ms) * time.Millisecond
+		case tlvHopLimit:
+			if len(v) == 1 {
+				it.HopLimit = v[0]
+			}
+		case tlvApplicationParameters:
+			it.AppParams = append([]byte(nil), v...)
+		}
+	}
+	return it, nil
+}
+
+// SignatureInfo describes how a Data packet is signed.
+type SignatureInfo struct {
+	Type uint64
+	// KeyLocator names the signing key (empty for digest signatures).
+	KeyLocator Name
+}
+
+// Data is an NDN Data packet: named, typed content bound to its name by a
+// signature.
+type Data struct {
+	Name      Name
+	Type      uint64
+	Freshness time.Duration
+	Content   []byte
+	SigInfo   SignatureInfo
+	SigValue  []byte
+}
+
+// signedPortion serializes the fields covered by the signature: Name,
+// MetaInfo, Content, and SignatureInfo.
+func (d *Data) signedPortion() []byte {
+	var b []byte
+	b = encodeName(b, d.Name)
+	var meta []byte
+	if d.Type != ContentTypeBlob {
+		meta = appendNonNegTLV(meta, tlvContentType, d.Type)
+	}
+	if d.Freshness > 0 {
+		meta = appendNonNegTLV(meta, tlvFreshnessPeriod, uint64(d.Freshness/time.Millisecond))
+	}
+	b = appendTLV(b, tlvMetaInfo, meta)
+	b = appendTLV(b, tlvContent, d.Content)
+	var si []byte
+	si = appendNonNegTLV(si, tlvSignatureType, d.SigInfo.Type)
+	if len(d.SigInfo.KeyLocator) > 0 {
+		var kl []byte
+		kl = encodeName(kl, d.SigInfo.KeyLocator)
+		si = appendTLV(si, tlvKeyLocator, kl)
+	}
+	b = appendTLV(b, tlvSignatureInfo, si)
+	return b
+}
+
+// Encode serializes the Data packet to its TLV wire form. The signature value
+// must already be populated (via Sign or SignDigest).
+func (d *Data) Encode() []byte {
+	inner := d.signedPortion()
+	inner = appendTLV(inner, tlvSignatureValue, d.SigValue)
+	return appendTLV(nil, tlvData, inner)
+}
+
+// DecodeData parses a TLV-encoded Data packet.
+func DecodeData(wire []byte) (*Data, error) {
+	outer := &tlvReader{buf: wire}
+	body, err := outer.expect(tlvData)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	r := &tlvReader{buf: body}
+	nameVal, err := r.expect(tlvName)
+	if err != nil {
+		return nil, fmt.Errorf("data name: %w", err)
+	}
+	name, err := decodeName(nameVal)
+	if err != nil {
+		return nil, fmt.Errorf("data name: %w", err)
+	}
+	d := &Data{Name: name}
+	for !r.done() {
+		typ, v, err := r.next()
+		if err != nil {
+			return nil, fmt.Errorf("data field: %w", err)
+		}
+		switch typ {
+		case tlvMetaInfo:
+			mr := &tlvReader{buf: v}
+			for !mr.done() {
+				mtyp, mv, err := mr.next()
+				if err != nil {
+					return nil, fmt.Errorf("metainfo: %w", err)
+				}
+				switch mtyp {
+				case tlvContentType:
+					ct, err := decodeNonNeg(mv)
+					if err != nil {
+						return nil, err
+					}
+					d.Type = ct
+				case tlvFreshnessPeriod:
+					ms, err := decodeNonNeg(mv)
+					if err != nil {
+						return nil, err
+					}
+					d.Freshness = time.Duration(ms) * time.Millisecond
+				}
+			}
+		case tlvContent:
+			d.Content = append([]byte(nil), v...)
+		case tlvSignatureInfo:
+			sr := &tlvReader{buf: v}
+			for !sr.done() {
+				styp, sv, err := sr.next()
+				if err != nil {
+					return nil, fmt.Errorf("signature info: %w", err)
+				}
+				switch styp {
+				case tlvSignatureType:
+					st, err := decodeNonNeg(sv)
+					if err != nil {
+						return nil, err
+					}
+					d.SigInfo.Type = st
+				case tlvKeyLocator:
+					kr := &tlvReader{buf: sv}
+					klVal, err := kr.expect(tlvName)
+					if err != nil {
+						return nil, fmt.Errorf("key locator: %w", err)
+					}
+					kl, err := decodeName(klVal)
+					if err != nil {
+						return nil, err
+					}
+					d.SigInfo.KeyLocator = kl
+				}
+			}
+		case tlvSignatureValue:
+			d.SigValue = append([]byte(nil), v...)
+		}
+	}
+	return d, nil
+}
+
+// Digest returns the SHA-256 digest of the Data packet's signed portion; this
+// is the per-packet digest DAPES metadata records (Section IV-C) so receivers
+// can verify integrity without a full signature check.
+func (d *Data) Digest() [32]byte {
+	return sha256.Sum256(d.signedPortion())
+}
+
+// SignDigest populates an integrity-only DigestSha256 "signature".
+func (d *Data) SignDigest() {
+	d.SigInfo = SignatureInfo{Type: SigTypeDigestSha256}
+	sum := d.Digest()
+	d.SigValue = sum[:]
+}
+
+// VerifyDigest checks a DigestSha256 signature.
+func (d *Data) VerifyDigest() bool {
+	if d.SigInfo.Type != SigTypeDigestSha256 || len(d.SigValue) != 32 {
+		return false
+	}
+	sum := sha256.Sum256(d.signedPortion())
+	for i, b := range sum {
+		if d.SigValue[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Signer produces signatures binding packet content to names. Implemented by
+// keys.Key.
+type Signer interface {
+	// Sign returns a signature over msg.
+	Sign(msg []byte) []byte
+	// KeyName returns the name placed in the KeyLocator.
+	KeyName() Name
+}
+
+// Sign populates an Ed25519 signature using the given signer.
+func (d *Data) Sign(s Signer) {
+	d.SigInfo = SignatureInfo{Type: SigTypeEd25519, KeyLocator: s.KeyName()}
+	d.SigValue = s.Sign(d.signedPortion())
+}
+
+// Verify checks the Ed25519 signature with verify, a function mapping
+// (keyName, message, sig) to validity. Implemented by keys.TrustStore.
+func (d *Data) Verify(verify func(key Name, msg, sig []byte) bool) bool {
+	if d.SigInfo.Type != SigTypeEd25519 {
+		return false
+	}
+	return verify(d.SigInfo.KeyLocator, d.signedPortion(), d.SigValue)
+}

@@ -1,0 +1,88 @@
+package nfd
+
+import (
+	"container/list"
+
+	"dapes/internal/ndn"
+)
+
+// ContentStore is an LRU cache of Data packets, looked up by exact name or —
+// for Interests with CanBePrefix — by name prefix.
+type ContentStore struct {
+	capacity int
+	order    *list.List               // front = most recent
+	byName   map[string]*list.Element // name URI -> element
+}
+
+type csEntry struct {
+	name string
+	data *ndn.Data
+}
+
+// NewContentStore returns a store holding at most capacity packets.
+// A capacity of zero disables caching.
+func NewContentStore(capacity int) *ContentStore {
+	return &ContentStore{
+		capacity: capacity,
+		order:    list.New(),
+		byName:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// Len returns the number of cached packets.
+func (c *ContentStore) Len() int { return c.order.Len() }
+
+// Insert caches data, evicting the least recently used entry if full.
+// Re-inserting an existing name refreshes its recency and content.
+func (c *ContentStore) Insert(data *ndn.Data) {
+	if c.capacity == 0 {
+		return
+	}
+	key := data.Name.String()
+	if el, ok := c.byName[key]; ok {
+		entry, isEntry := el.Value.(*csEntry)
+		if isEntry {
+			entry.data = data
+		}
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			entry, isEntry := oldest.Value.(*csEntry)
+			if isEntry {
+				delete(c.byName, entry.name)
+			}
+			c.order.Remove(oldest)
+		}
+	}
+	c.byName[key] = c.order.PushFront(&csEntry{name: key, data: data})
+}
+
+// Find returns a cached packet satisfying the Interest, or nil. Exact-name
+// match is attempted first; when the Interest allows prefix matching, any
+// cached packet under the prefix may satisfy it.
+func (c *ContentStore) Find(interest *ndn.Interest) *ndn.Data {
+	if el, ok := c.byName[interest.Name.String()]; ok {
+		c.order.MoveToFront(el)
+		entry, isEntry := el.Value.(*csEntry)
+		if isEntry {
+			return entry.data
+		}
+	}
+	if !interest.CanBePrefix {
+		return nil
+	}
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		entry, isEntry := el.Value.(*csEntry)
+		if !isEntry {
+			continue
+		}
+		if interest.Name.IsPrefixOf(entry.data.Name) {
+			c.order.MoveToFront(el)
+			return entry.data
+		}
+	}
+	return nil
+}

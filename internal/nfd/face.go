@@ -1,0 +1,62 @@
+// Package nfd implements the NDN Forwarding Daemon pipeline of the paper's
+// Fig. 1: Content Store lookup, Pending Interest Table aggregation, and
+// FIB longest-prefix-match forwarding, with a pluggable forwarding strategy.
+//
+// Every node in a DAPES network — peers, stationary repositories, and "pure
+// forwarders" that only understand NDN — runs one Forwarder instance.
+package nfd
+
+import (
+	"time"
+
+	"dapes/internal/sim"
+)
+
+// Timer is a cancelable scheduled callback.
+type Timer interface {
+	Cancel()
+}
+
+// Clock abstracts virtual time so the forwarder is reusable outside the
+// discrete-event kernel.
+type Clock interface {
+	Now() time.Duration
+	Schedule(delay time.Duration, fn func()) Timer
+}
+
+// KernelClock adapts a sim.Kernel to the Clock interface.
+type KernelClock struct {
+	K *sim.Kernel
+}
+
+var _ Clock = KernelClock{}
+
+// Now implements Clock.
+func (c KernelClock) Now() time.Duration { return c.K.Now() }
+
+// Schedule implements Clock.
+func (c KernelClock) Schedule(delay time.Duration, fn func()) Timer {
+	return c.K.Schedule(delay, fn)
+}
+
+// Face is one attachment point of the forwarder: an application, a wireless
+// broadcast channel, or a point-to-point link. The forwarder calls Transmit
+// to emit a packet; the face owner calls Forwarder.ReceiveInterest /
+// ReceiveData when packets arrive.
+type Face struct {
+	id       int
+	local    bool // application faces bypass scope checks
+	transmit func(wire []byte)
+
+	// Counters per face.
+	InInterests  uint64
+	OutInterests uint64
+	InData       uint64
+	OutData      uint64
+}
+
+// ID returns the face's forwarder-unique identifier.
+func (f *Face) ID() int { return f.id }
+
+// Local reports whether this is an application face.
+func (f *Face) Local() bool { return f.local }

@@ -1,0 +1,54 @@
+package nfd
+
+import (
+	"dapes/internal/ndn"
+)
+
+// Fib is the Forwarding Information Base: name prefixes mapped to next-hop
+// faces, matched by longest prefix.
+type Fib struct {
+	entries map[string][]*Face
+}
+
+// NewFib returns an empty FIB.
+func NewFib() *Fib {
+	return &Fib{entries: make(map[string][]*Face)}
+}
+
+// Insert registers face as a next hop for prefix. Duplicate registrations are
+// idempotent.
+func (f *Fib) Insert(prefix ndn.Name, face *Face) {
+	key := prefix.String()
+	for _, existing := range f.entries[key] {
+		if existing == face {
+			return
+		}
+	}
+	f.entries[key] = append(f.entries[key], face)
+}
+
+// Remove unregisters face from prefix.
+func (f *Fib) Remove(prefix ndn.Name, face *Face) {
+	key := prefix.String()
+	hops := f.entries[key]
+	for i, existing := range hops {
+		if existing == face {
+			f.entries[key] = append(hops[:i], hops[i+1:]...)
+			if len(f.entries[key]) == 0 {
+				delete(f.entries, key)
+			}
+			return
+		}
+	}
+}
+
+// Lookup returns the next hops for the longest registered prefix of name,
+// or nil when no prefix matches.
+func (f *Fib) Lookup(name ndn.Name) []*Face {
+	for k := name.Len(); k >= 0; k-- {
+		if hops, ok := f.entries[name.Prefix(k).String()]; ok && len(hops) > 0 {
+			return hops
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package nfd
+
+import (
+	"time"
+
+	"dapes/internal/ndn"
+)
+
+// Strategy decides where an accepted Interest is forwarded. nexthops is the
+// FIB longest-prefix-match result (possibly nil). Returning an empty slice
+// suppresses the Interest; this hook is where DAPES's adaptive
+// forwarding/suppression (Section V) plugs in.
+type Strategy interface {
+	AfterReceiveInterest(ingress *Face, interest *ndn.Interest, nexthops []*Face) []*Face
+}
+
+// MulticastStrategy forwards every Interest to all next hops except the
+// ingress face. It is NFD's default behaviour.
+type MulticastStrategy struct{}
+
+var _ Strategy = MulticastStrategy{}
+
+// AfterReceiveInterest implements Strategy.
+func (MulticastStrategy) AfterReceiveInterest(ingress *Face, _ *ndn.Interest, nexthops []*Face) []*Face {
+	out := make([]*Face, 0, len(nexthops))
+	for _, f := range nexthops {
+		if f != ingress {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Stats aggregates forwarder counters.
+type Stats struct {
+	InInterests     uint64
+	OutInterests    uint64
+	InData          uint64
+	OutData         uint64
+	CsHits          uint64
+	PitAggregated   uint64
+	NonceDrops      uint64
+	UnsolicitedData uint64
+	Suppressed      uint64
+}
+
+// Config parameterizes a Forwarder.
+type Config struct {
+	// CsCapacity is the Content Store size in packets. Default 4096.
+	CsCapacity int
+	// DefaultLifetime bounds PIT entries when the Interest carries no
+	// lifetime. Default 4 s (NDN convention).
+	DefaultLifetime time.Duration
+	// CacheUnsolicited caches Data that matches no PIT entry. Pure
+	// forwarders in DAPES enable this to serve overheard data (Section V-A).
+	CacheUnsolicited bool
+	// Strategy decides forwarding; default MulticastStrategy.
+	Strategy Strategy
+}
+
+// Forwarder is one node's NDN forwarding daemon.
+type Forwarder struct {
+	clock Clock
+	cfg   Config
+	faces []*Face
+	cs    *ContentStore
+	pit   *Pit
+	fib   *Fib
+	stats Stats
+}
+
+// NewForwarder creates a forwarder driven by the given clock.
+func NewForwarder(clock Clock, cfg Config) *Forwarder {
+	if cfg.CsCapacity == 0 {
+		cfg.CsCapacity = 4096
+	}
+	if cfg.DefaultLifetime == 0 {
+		cfg.DefaultLifetime = 4 * time.Second
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = MulticastStrategy{}
+	}
+	return &Forwarder{
+		clock: clock,
+		cfg:   cfg,
+		cs:    NewContentStore(cfg.CsCapacity),
+		pit:   NewPit(clock),
+		fib:   NewFib(),
+	}
+}
+
+// AddFace attaches a new face whose outgoing packets are delivered through
+// transmit. local marks application faces.
+func (fw *Forwarder) AddFace(local bool, transmit func(wire []byte)) *Face {
+	f := &Face{id: len(fw.faces), local: local, transmit: transmit}
+	fw.faces = append(fw.faces, f)
+	return f
+}
+
+// Fib exposes the forwarding table for route registration.
+func (fw *Forwarder) Fib() *Fib { return fw.fib }
+
+// Cs exposes the content store.
+func (fw *Forwarder) Cs() *ContentStore { return fw.cs }
+
+// Pit exposes the pending-interest table.
+func (fw *Forwarder) Pit() *Pit { return fw.pit }
+
+// Stats returns a copy of the counters.
+func (fw *Forwarder) Stats() Stats { return fw.stats }
+
+// SetStrategy replaces the forwarding strategy.
+func (fw *Forwarder) SetStrategy(s Strategy) { fw.cfg.Strategy = s }
+
+// ReceiveInterest runs the Fig.-1 Interest pipeline for a packet arriving on
+// ingress: CS lookup, PIT insert/aggregate, then strategy-driven forwarding.
+func (fw *Forwarder) ReceiveInterest(ingress *Face, interest *ndn.Interest) {
+	fw.stats.InInterests++
+	ingress.InInterests++
+
+	// Loop detection: same name + same nonce seen before.
+	if e := fw.pit.Find(interest.Name); e != nil && e.HasNonce(interest.Nonce) {
+		fw.stats.NonceDrops++
+		return
+	}
+
+	// Content Store.
+	if data := fw.cs.Find(interest); data != nil {
+		fw.stats.CsHits++
+		fw.sendData(ingress, data)
+		return
+	}
+
+	// PIT.
+	lifetime := interest.Lifetime
+	if lifetime == 0 {
+		lifetime = fw.cfg.DefaultLifetime
+	}
+	_, aggregated := fw.pit.Insert(interest, ingress, lifetime)
+	if aggregated {
+		fw.stats.PitAggregated++
+		return
+	}
+
+	// FIB + strategy.
+	nexthops := fw.fib.Lookup(interest.Name)
+	egress := fw.cfg.Strategy.AfterReceiveInterest(ingress, interest, nexthops)
+	if len(egress) == 0 {
+		fw.stats.Suppressed++
+		return
+	}
+	wire := interest.Encode()
+	for _, f := range egress {
+		if f == ingress {
+			continue
+		}
+		fw.stats.OutInterests++
+		f.OutInterests++
+		if f.transmit != nil {
+			f.transmit(wire)
+		}
+	}
+}
+
+// ReceiveData runs the Fig.-1 Data pipeline: PIT match, downstream
+// forwarding, and caching.
+func (fw *Forwarder) ReceiveData(ingress *Face, data *ndn.Data) {
+	fw.stats.InData++
+	ingress.InData++
+
+	entry := fw.pit.Satisfy(data)
+	if entry == nil {
+		fw.stats.UnsolicitedData++
+		if fw.cfg.CacheUnsolicited {
+			fw.cs.Insert(data)
+		}
+		return
+	}
+	fw.cs.Insert(data)
+	for _, f := range entry.Downstreams() {
+		if f == ingress {
+			continue
+		}
+		fw.sendData(f, data)
+	}
+}
+
+func (fw *Forwarder) sendData(f *Face, data *ndn.Data) {
+	fw.stats.OutData++
+	f.OutData++
+	if f.transmit != nil {
+		f.transmit(data.Encode())
+	}
+}
+
+// Dispatch decodes a wire packet arriving on ingress and routes it to the
+// appropriate pipeline. Undecodable packets are dropped, as a real forwarder
+// drops garbled frames.
+func (fw *Forwarder) Dispatch(ingress *Face, wire []byte) {
+	if len(wire) == 0 {
+		return
+	}
+	switch wire[0] {
+	case tlvInterestType:
+		if in, err := ndn.DecodeInterest(wire); err == nil {
+			fw.ReceiveInterest(ingress, in)
+		}
+	case tlvDataType:
+		if d, err := ndn.DecodeData(wire); err == nil {
+			fw.ReceiveData(ingress, d)
+		}
+	}
+}
+
+// First-octet TLV types for dispatching (Interest = 0x05, Data = 0x06).
+const (
+	tlvInterestType = 0x05
+	tlvDataType     = 0x06
+)

@@ -1,0 +1,311 @@
+package nfd
+
+import (
+	"testing"
+	"time"
+
+	"dapes/internal/ndn"
+	"dapes/internal/sim"
+)
+
+func testClock() (*sim.Kernel, Clock) {
+	k := sim.NewKernel(1)
+	return k, KernelClock{K: k}
+}
+
+func mkData(uri, content string) *ndn.Data {
+	d := &ndn.Data{Name: ndn.ParseName(uri), Content: []byte(content)}
+	d.SignDigest()
+	return d
+}
+
+func TestContentStoreExactAndPrefix(t *testing.T) {
+	cs := NewContentStore(10)
+	cs.Insert(mkData("/coll/file/0", "a"))
+	cs.Insert(mkData("/coll/file/1", "b"))
+
+	if d := cs.Find(&ndn.Interest{Name: ndn.ParseName("/coll/file/0")}); d == nil {
+		t.Fatal("exact match missed")
+	}
+	if d := cs.Find(&ndn.Interest{Name: ndn.ParseName("/coll/file")}); d != nil {
+		t.Fatal("prefix matched without CanBePrefix")
+	}
+	if d := cs.Find(&ndn.Interest{Name: ndn.ParseName("/coll/file"), CanBePrefix: true}); d == nil {
+		t.Fatal("prefix match missed with CanBePrefix")
+	}
+	if d := cs.Find(&ndn.Interest{Name: ndn.ParseName("/other"), CanBePrefix: true}); d != nil {
+		t.Fatal("unrelated prefix matched")
+	}
+}
+
+func TestContentStoreLRUEviction(t *testing.T) {
+	cs := NewContentStore(2)
+	cs.Insert(mkData("/a/0", "x"))
+	cs.Insert(mkData("/a/1", "x"))
+	// Touch /a/0 so /a/1 becomes LRU.
+	if cs.Find(&ndn.Interest{Name: ndn.ParseName("/a/0")}) == nil {
+		t.Fatal("find failed")
+	}
+	cs.Insert(mkData("/a/2", "x"))
+	if cs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", cs.Len())
+	}
+	if cs.Find(&ndn.Interest{Name: ndn.ParseName("/a/1")}) != nil {
+		t.Fatal("LRU entry not evicted")
+	}
+	if cs.Find(&ndn.Interest{Name: ndn.ParseName("/a/0")}) == nil {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+func TestContentStoreZeroCapacity(t *testing.T) {
+	cs := NewContentStore(0)
+	cs.Insert(mkData("/a/0", "x"))
+	if cs.Len() != 0 {
+		t.Fatal("zero-capacity store cached data")
+	}
+}
+
+func TestContentStoreReinsertRefreshes(t *testing.T) {
+	cs := NewContentStore(2)
+	cs.Insert(mkData("/a/0", "old"))
+	cs.Insert(mkData("/a/1", "x"))
+	cs.Insert(mkData("/a/0", "new")) // refresh: /a/1 now LRU
+	cs.Insert(mkData("/a/2", "x"))
+	got := cs.Find(&ndn.Interest{Name: ndn.ParseName("/a/0")})
+	if got == nil || string(got.Content) != "new" {
+		t.Fatalf("refreshed entry = %v", got)
+	}
+}
+
+func TestPitAggregationAndExpiry(t *testing.T) {
+	k, clock := testClock()
+	pit := NewPit(clock)
+	f1 := &Face{id: 1}
+	f2 := &Face{id: 2}
+
+	in1 := &ndn.Interest{Name: ndn.ParseName("/x/0"), Nonce: 1}
+	in2 := &ndn.Interest{Name: ndn.ParseName("/x/0"), Nonce: 2}
+
+	_, agg := pit.Insert(in1, f1, time.Second)
+	if agg {
+		t.Fatal("first insert reported aggregated")
+	}
+	e, agg := pit.Insert(in2, f2, time.Second)
+	if !agg {
+		t.Fatal("second insert not aggregated")
+	}
+	if len(e.Downstreams()) != 2 {
+		t.Fatalf("downstreams = %d, want 2", len(e.Downstreams()))
+	}
+	if !e.HasNonce(1) || !e.HasNonce(2) || e.HasNonce(3) {
+		t.Fatal("nonce tracking wrong")
+	}
+
+	// Expiry after lifetime.
+	k.Run(2 * time.Second)
+	if pit.Len() != 0 {
+		t.Fatalf("PIT not expired: len=%d", pit.Len())
+	}
+}
+
+func TestPitSatisfyRemovesEntry(t *testing.T) {
+	_, clock := testClock()
+	pit := NewPit(clock)
+	f := &Face{id: 1}
+	pit.Insert(&ndn.Interest{Name: ndn.ParseName("/x/0")}, f, time.Second)
+	d := mkData("/x/0", "v")
+	e := pit.Satisfy(d)
+	if e == nil || pit.Len() != 0 {
+		t.Fatal("satisfy did not consume entry")
+	}
+	if pit.Satisfy(d) != nil {
+		t.Fatal("second satisfy returned entry")
+	}
+}
+
+func TestFibLongestPrefixMatch(t *testing.T) {
+	fib := NewFib()
+	fShort := &Face{id: 1}
+	fLong := &Face{id: 2}
+	fib.Insert(ndn.ParseName("/coll"), fShort)
+	fib.Insert(ndn.ParseName("/coll/file"), fLong)
+
+	hops := fib.Lookup(ndn.ParseName("/coll/file/3"))
+	if len(hops) != 1 || hops[0] != fLong {
+		t.Fatalf("LPM chose %v, want the longer prefix", hops)
+	}
+	hops = fib.Lookup(ndn.ParseName("/coll/other"))
+	if len(hops) != 1 || hops[0] != fShort {
+		t.Fatalf("fallback chose %v", hops)
+	}
+	if fib.Lookup(ndn.ParseName("/elsewhere")) != nil {
+		t.Fatal("unmatched name returned hops")
+	}
+
+	fib.Remove(ndn.ParseName("/coll/file"), fLong)
+	hops = fib.Lookup(ndn.ParseName("/coll/file/3"))
+	if len(hops) != 1 || hops[0] != fShort {
+		t.Fatalf("after remove, chose %v", hops)
+	}
+}
+
+func TestFibDuplicateInsertIdempotent(t *testing.T) {
+	fib := NewFib()
+	f := &Face{id: 1}
+	fib.Insert(ndn.ParseName("/a"), f)
+	fib.Insert(ndn.ParseName("/a"), f)
+	if got := fib.Lookup(ndn.ParseName("/a/b")); len(got) != 1 {
+		t.Fatalf("duplicate insert produced %d hops", len(got))
+	}
+}
+
+// fixture wires a forwarder with an app face and a "network" face whose
+// transmissions are captured.
+type fixture struct {
+	k        *sim.Kernel
+	fw       *Forwarder
+	app, net *Face
+	appOut   [][]byte
+	netOut   [][]byte
+}
+
+func newFixture(cfg Config) *fixture {
+	k, clock := testClock()
+	fx := &fixture{k: k}
+	fx.fw = NewForwarder(clock, cfg)
+	fx.app = fx.fw.AddFace(true, func(w []byte) { fx.appOut = append(fx.appOut, w) })
+	fx.net = fx.fw.AddFace(false, func(w []byte) { fx.netOut = append(fx.netOut, w) })
+	return fx
+}
+
+func TestForwarderPipelineForwardAndReturn(t *testing.T) {
+	fx := newFixture(Config{})
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+
+	in := &ndn.Interest{Name: ndn.ParseName("/coll/file/0"), Nonce: 7}
+	fx.fw.ReceiveInterest(fx.app, in)
+	if len(fx.netOut) != 1 {
+		t.Fatalf("interest not forwarded: %d", len(fx.netOut))
+	}
+
+	// Data comes back on the network face; it must reach the app face and be
+	// cached.
+	d := mkData("/coll/file/0", "seg")
+	fx.fw.ReceiveData(fx.net, d)
+	if len(fx.appOut) != 1 {
+		t.Fatalf("data not returned to app: %d", len(fx.appOut))
+	}
+	if fx.fw.Cs().Len() != 1 {
+		t.Fatal("data not cached")
+	}
+
+	// A second Interest is now a CS hit: answered locally, not forwarded.
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/file/0"), Nonce: 8})
+	if len(fx.netOut) != 1 {
+		t.Fatal("CS hit still forwarded upstream")
+	}
+	if len(fx.appOut) != 2 {
+		t.Fatal("CS hit did not answer app")
+	}
+	if fx.fw.Stats().CsHits != 1 {
+		t.Fatalf("CsHits = %d", fx.fw.Stats().CsHits)
+	}
+}
+
+func TestForwarderAggregatesDuplicateInterests(t *testing.T) {
+	fx := newFixture(Config{})
+	app2 := fx.fw.AddFace(true, nil)
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 1})
+	fx.fw.ReceiveInterest(app2, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 2})
+	if len(fx.netOut) != 1 {
+		t.Fatalf("aggregated interest still forwarded: %d transmissions", len(fx.netOut))
+	}
+	if fx.fw.Stats().PitAggregated != 1 {
+		t.Fatalf("PitAggregated = %d", fx.fw.Stats().PitAggregated)
+	}
+}
+
+func TestForwarderNonceLoopDrop(t *testing.T) {
+	fx := newFixture(Config{})
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+	in := &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 9}
+	fx.fw.ReceiveInterest(fx.app, in)
+	fx.fw.ReceiveInterest(fx.net, in) // same nonce looping back
+	if fx.fw.Stats().NonceDrops != 1 {
+		t.Fatalf("NonceDrops = %d, want 1", fx.fw.Stats().NonceDrops)
+	}
+}
+
+func TestForwarderUnsolicitedDataPolicy(t *testing.T) {
+	strict := newFixture(Config{})
+	strict.fw.ReceiveData(strict.net, mkData("/x/0", "v"))
+	if strict.fw.Cs().Len() != 0 {
+		t.Fatal("strict forwarder cached unsolicited data")
+	}
+
+	promiscuous := newFixture(Config{CacheUnsolicited: true})
+	promiscuous.fw.ReceiveData(promiscuous.net, mkData("/x/0", "v"))
+	if promiscuous.fw.Cs().Len() != 1 {
+		t.Fatal("pure forwarder did not cache overheard data")
+	}
+	if promiscuous.fw.Stats().UnsolicitedData != 1 {
+		t.Fatal("unsolicited counter wrong")
+	}
+}
+
+func TestForwarderNoRouteSuppresses(t *testing.T) {
+	fx := newFixture(Config{})
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/nowhere"), Nonce: 1})
+	if len(fx.netOut) != 0 {
+		t.Fatal("interest forwarded without route")
+	}
+	if fx.fw.Stats().Suppressed != 1 {
+		t.Fatalf("Suppressed = %d", fx.fw.Stats().Suppressed)
+	}
+}
+
+type dropAllStrategy struct{}
+
+func (dropAllStrategy) AfterReceiveInterest(*Face, *ndn.Interest, []*Face) []*Face { return nil }
+
+func TestForwarderCustomStrategy(t *testing.T) {
+	fx := newFixture(Config{Strategy: dropAllStrategy{}})
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 1})
+	if len(fx.netOut) != 0 {
+		t.Fatal("drop-all strategy still forwarded")
+	}
+}
+
+func TestDispatchRoutesWireFormats(t *testing.T) {
+	fx := newFixture(Config{})
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+
+	in := &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 3}
+	fx.fw.Dispatch(fx.app, in.Encode())
+	if len(fx.netOut) != 1 {
+		t.Fatal("dispatched interest not forwarded")
+	}
+	fx.fw.Dispatch(fx.net, mkData("/coll/0", "v").Encode())
+	if len(fx.appOut) != 1 {
+		t.Fatal("dispatched data not returned")
+	}
+	// Garbage is silently dropped.
+	fx.fw.Dispatch(fx.net, []byte{0xFF, 0x01, 0x02})
+	fx.fw.Dispatch(fx.net, nil)
+}
+
+func TestPitEntryExpiresDownstreamGone(t *testing.T) {
+	fx := newFixture(Config{DefaultLifetime: time.Second})
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 1})
+	fx.k.Run(2 * time.Second)
+	// After expiry, Data is unsolicited.
+	fx.fw.ReceiveData(fx.net, mkData("/coll/0", "v"))
+	if len(fx.appOut) != 0 {
+		t.Fatal("expired PIT entry still forwarded data")
+	}
+}

@@ -1,0 +1,97 @@
+package nfd
+
+import (
+	"time"
+
+	"dapes/internal/ndn"
+)
+
+// PitEntry records a forwarded Interest awaiting Data. Downstream faces are
+// where matching Data must be sent; the nonce set detects loops.
+type PitEntry struct {
+	Name       ndn.Name
+	downstream map[int]*Face
+	nonces     map[uint32]struct{}
+	expiry     Timer
+	expired    bool
+}
+
+// Downstreams returns the faces waiting for this Interest's Data.
+func (e *PitEntry) Downstreams() []*Face {
+	out := make([]*Face, 0, len(e.downstream))
+	for _, f := range e.downstream {
+		out = append(out, f)
+	}
+	return out
+}
+
+// HasNonce reports whether the nonce was already seen (loop indicator).
+func (e *PitEntry) HasNonce(n uint32) bool {
+	_, ok := e.nonces[n]
+	return ok
+}
+
+// Pit is the Pending Interest Table: exact-name-keyed entries with lifetimes.
+type Pit struct {
+	clock   Clock
+	entries map[string]*PitEntry
+}
+
+// NewPit returns an empty PIT driven by the given clock.
+func NewPit(clock Clock) *Pit {
+	return &Pit{clock: clock, entries: make(map[string]*PitEntry)}
+}
+
+// Len returns the number of pending entries.
+func (p *Pit) Len() int { return len(p.entries) }
+
+// Find returns the entry for an exact name, or nil.
+func (p *Pit) Find(name ndn.Name) *PitEntry {
+	return p.entries[name.String()]
+}
+
+// Insert adds (or extends) the entry for interest arriving on face, returning
+// the entry and whether it already existed (i.e. the Interest was
+// aggregated). The entry expires after lifetime.
+func (p *Pit) Insert(interest *ndn.Interest, face *Face, lifetime time.Duration) (entry *PitEntry, aggregated bool) {
+	key := interest.Name.String()
+	e, ok := p.entries[key]
+	if !ok {
+		e = &PitEntry{
+			Name:       interest.Name.Clone(),
+			downstream: make(map[int]*Face, 2),
+			nonces:     make(map[uint32]struct{}, 2),
+		}
+		p.entries[key] = e
+	}
+	if face != nil {
+		e.downstream[face.id] = face
+	}
+	e.nonces[interest.Nonce] = struct{}{}
+	if e.expiry != nil {
+		e.expiry.Cancel()
+	}
+	e.expiry = p.clock.Schedule(lifetime, func() {
+		if !e.expired {
+			e.expired = true
+			delete(p.entries, key)
+		}
+	})
+	return e, ok
+}
+
+// Satisfy removes the entry matched by the Data packet and returns it, or nil
+// if no Interest is pending for that exact name.
+func (p *Pit) Satisfy(data *ndn.Data) *PitEntry {
+	key := data.Name.String()
+	e, ok := p.entries[key]
+	if !ok {
+		return nil
+	}
+	if e.expiry != nil {
+		e.expiry.Cancel()
+	}
+	e.expired = true
+	delete(p.entries, key)
+	return e
+}

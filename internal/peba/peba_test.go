@@ -1,0 +1,162 @@
+package peba
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newBackoff(cfg Config) *Backoff {
+	return New(cfg, rand.New(rand.NewSource(1)))
+}
+
+func TestDefaults(t *testing.T) {
+	b := newBackoff(Config{})
+	cfg := b.Config()
+	if cfg.Window != 20*time.Millisecond || cfg.Groups != 2 || cfg.Slot == 0 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestLinearPrioritization(t *testing.T) {
+	b := newBackoff(Config{Window: 20 * time.Millisecond})
+	full := b.Delay(1.0)
+	half := b.Delay(0.5)
+	tenth := b.Delay(0.1)
+	if full != 20*time.Millisecond {
+		t.Fatalf("Delay(1.0) = %v, want window", full)
+	}
+	if half != 40*time.Millisecond {
+		t.Fatalf("Delay(0.5) = %v, want 2*window", half)
+	}
+	if !(full < half && half < tenth) {
+		t.Fatalf("priority ordering broken: %v %v %v", full, half, tenth)
+	}
+}
+
+func TestLinearDelayCapped(t *testing.T) {
+	b := newBackoff(Config{Window: 20 * time.Millisecond, MaxDelayFactor: 5})
+	if got := b.Delay(0); got != 100*time.Millisecond {
+		t.Fatalf("Delay(0) = %v, want cap", got)
+	}
+	if got := b.Delay(0.0001); got != 100*time.Millisecond {
+		t.Fatalf("tiny frac = %v, want cap", got)
+	}
+	// Out-of-range fracs are clamped.
+	if got := b.Delay(2.0); got != b.Delay(1.0) {
+		t.Fatalf("frac>1 not clamped: %v", got)
+	}
+	if got := b.Delay(-1); got != 100*time.Millisecond {
+		t.Fatalf("frac<0 not clamped: %v", got)
+	}
+}
+
+func TestSlotsDoubleOnCollision(t *testing.T) {
+	b := newBackoff(Config{})
+	if b.Slots() != 1 {
+		t.Fatalf("initial slots = %d", b.Slots())
+	}
+	b.OnCollision()
+	if b.Slots() != 2 || b.Collisions() != 1 {
+		t.Fatalf("after 1 collision: slots=%d", b.Slots())
+	}
+	b.OnCollision()
+	if b.Slots() != 4 {
+		t.Fatalf("after 2 collisions: slots=%d", b.Slots())
+	}
+	b.Reset()
+	if b.Slots() != 1 || b.Collisions() != 0 {
+		t.Fatal("reset did not clear collisions")
+	}
+}
+
+func TestSlotGroupsPreservePriority(t *testing.T) {
+	// After two collisions there are 4 slots in 2 groups. High-priority
+	// peers (frac >= 0.5) must always draw slots 0-1; low-priority peers
+	// slots 2-3 — exactly the paper's B/D example.
+	slot := 2 * time.Millisecond
+	b := New(Config{Slot: slot, Groups: 2}, rand.New(rand.NewSource(3)))
+	b.OnCollision()
+	b.OnCollision()
+	for i := 0; i < 200; i++ {
+		high := b.Delay(0.75)
+		low := b.Delay(0.25)
+		hs, ls := int(high/slot), int(low/slot)
+		if hs < 0 || hs > 1 {
+			t.Fatalf("high-priority slot %d outside group 0", hs)
+		}
+		if ls < 2 || ls > 3 {
+			t.Fatalf("low-priority slot %d outside group 1", ls)
+		}
+	}
+}
+
+func TestBoundaryFractionAtLeastHalfIsFirstGroup(t *testing.T) {
+	// "Peers that have, at least, half of the missing packets randomly
+	// select a slot in the first group."
+	slot := time.Millisecond
+	b := New(Config{Slot: slot, Groups: 2}, rand.New(rand.NewSource(4)))
+	b.OnCollision() // 2 slots, 1 per group
+	for i := 0; i < 50; i++ {
+		if got := b.Delay(0.5); got != 0 {
+			t.Fatalf("frac=0.5 delay = %v, want slot 0", got)
+		}
+		if got := b.Delay(0.49); got != slot {
+			t.Fatalf("frac=0.49 delay = %v, want slot 1", got)
+		}
+	}
+}
+
+func TestSingleSlotAfterOneCollisionWithManyGroups(t *testing.T) {
+	// Groups must degrade gracefully when there are fewer slots than groups.
+	b := New(Config{Slot: time.Millisecond, Groups: 4}, rand.New(rand.NewSource(5)))
+	b.OnCollision() // 2 slots, 4 groups -> clamp to 2 groups
+	d := b.Delay(1.0)
+	if d < 0 || d > time.Millisecond {
+		t.Fatalf("delay = %v out of slot range", d)
+	}
+}
+
+func TestExpectedDelayMatchesFormula(t *testing.T) {
+	// n=9 slots/group: L_avg = 4, T = (4-1)/2 * tau = 1.5 tau.
+	tau := 2 * time.Millisecond
+	if got := ExpectedDelay(9, tau); got != 3*time.Millisecond {
+		t.Fatalf("ExpectedDelay = %v, want 3ms", got)
+	}
+	if got := ExpectedDelay(0, tau); got != 0 {
+		t.Fatalf("degenerate ExpectedDelay = %v", got)
+	}
+	// Small n where the formula would go negative clamps to zero.
+	if got := ExpectedDelay(1, tau); got != 0 {
+		t.Fatalf("n=1 ExpectedDelay = %v", got)
+	}
+}
+
+func TestLinearBackoffIgnoresCollisions(t *testing.T) {
+	l := NewLinear(Config{Window: 20 * time.Millisecond})
+	d1 := l.Delay(0.5)
+	// There is no collision state to mutate; delay is stable.
+	d2 := l.Delay(0.5)
+	if d1 != d2 || d1 != 40*time.Millisecond {
+		t.Fatalf("linear delays = %v, %v", d1, d2)
+	}
+}
+
+func TestDelayDeterministicPerSeed(t *testing.T) {
+	mk := func() []time.Duration {
+		b := New(Config{}, rand.New(rand.NewSource(9)))
+		b.OnCollision()
+		b.OnCollision()
+		var out []time.Duration
+		for i := 0; i < 20; i++ {
+			out = append(out, b.Delay(0.6))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PEBA delays nondeterministic for fixed seed")
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package phy emulates the shared wireless broadcast medium used by every
+// experiment: an IEEE 802.11b-style channel with a configurable transmission
+// range, data rate, per-receiver loss probability, and a collision model in
+// which overlapping receptions at the same radio garble each other.
+//
+// The paper's evaluation (Section VI-B) uses IEEE 802.11b at 2.4 GHz with an
+// 11 Mbps data rate, a 10% loss rate, and WiFi ranges swept from 20 m to
+// 100 m; those are the defaults here.
+package phy
+
+import (
+	"fmt"
+	"time"
+
+	"dapes/internal/geo"
+	"dapes/internal/sim"
+)
+
+// Frame is one on-air transmission delivered to a radio.
+type Frame struct {
+	// From is the ID of the transmitting radio.
+	From int
+	// Payload is the application bytes carried by the frame.
+	Payload []byte
+	// Size is the on-air size in bytes (payload plus header overhead).
+	Size int
+}
+
+// Handler consumes frames successfully received by a radio.
+type Handler func(Frame)
+
+// Config parameterizes the medium.
+type Config struct {
+	// Range is the transmission range in meters. Paper sweeps 20–100.
+	Range float64
+	// DataRateBps is the channel data rate in bits per second.
+	// Default: 11 Mbps (802.11b).
+	DataRateBps float64
+	// LossRate is the independent per-receiver frame loss probability in
+	// [0, 1). Default 0 (the experiment harness sets the paper's 10%).
+	LossRate float64
+	// HeaderBytes is added to every payload to model MAC/PHY framing
+	// overhead. Default 34 (802.11 MAC header + FCS).
+	HeaderBytes int
+	// PropagationDelay is the fixed propagation latency. Default 1 µs.
+	PropagationDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Range == 0 {
+		c.Range = 60
+	}
+	if c.DataRateBps == 0 {
+		c.DataRateBps = 11e6
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 34
+	}
+	if c.PropagationDelay == 0 {
+		c.PropagationDelay = time.Microsecond
+	}
+	return c
+}
+
+// Stats aggregates medium-level counters used by the paper's overhead metric.
+type Stats struct {
+	// Transmissions counts frames put on the air.
+	Transmissions uint64
+	// Deliveries counts successful frame receptions across all radios.
+	Deliveries uint64
+	// Collisions counts receptions dropped because they overlapped another
+	// reception at the same radio.
+	Collisions uint64
+	// Lost counts receptions dropped by the random loss process.
+	Lost uint64
+	// BytesSent counts on-air bytes (including modeled header overhead).
+	BytesSent uint64
+}
+
+// reception tracks one in-flight frame at one receiver for collision checks.
+type reception struct {
+	start, end time.Duration
+	collided   bool
+}
+
+// Radio is one node's attachment to the medium.
+type Radio struct {
+	id       int
+	medium   *Medium
+	mobility geo.Mobility
+	handler  Handler
+	enabled  bool
+
+	// inFlight holds receptions that have not yet completed delivery.
+	inFlight []*reception
+	// txWindows are this radio's own recent transmission intervals;
+	// receptions overlapping them are dropped (half-duplex radio).
+	txWindows []txWindow
+
+	// Sent and Received count frames at this radio.
+	Sent     uint64
+	Received uint64
+}
+
+type txWindow struct {
+	start, end time.Duration
+}
+
+// ID returns the radio's medium-unique identifier.
+func (r *Radio) ID() int { return r.id }
+
+// Position returns the radio's position at the current virtual time.
+func (r *Radio) Position() geo.Point {
+	return r.mobility.PositionAt(r.medium.kernel.Now())
+}
+
+// SetHandler installs the receive callback. It must be set before frames
+// arrive; frames received while the handler is nil are dropped.
+func (r *Radio) SetHandler(h Handler) { r.handler = h }
+
+// Handler returns the currently installed receive callback, letting stacked
+// protocols chain onto an existing one.
+func (r *Radio) Handler() Handler { return r.handler }
+
+// SetEnabled turns the radio on or off. Disabled radios neither receive nor
+// transmit (Broadcast becomes a no-op).
+func (r *Radio) SetEnabled(on bool) { r.enabled = on }
+
+// Enabled reports whether the radio is on.
+func (r *Radio) Enabled() bool { return r.enabled }
+
+// Medium is the shared broadcast channel connecting a set of radios.
+type Medium struct {
+	kernel *sim.Kernel
+	cfg    Config
+	radios []*Radio
+	stats  Stats
+}
+
+// NewMedium creates a medium over the given simulation kernel.
+func NewMedium(kernel *sim.Kernel, cfg Config) *Medium {
+	return &Medium{kernel: kernel, cfg: cfg.withDefaults()}
+}
+
+// Config returns the medium's effective (defaulted) configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Attach adds a radio with the given mobility model and returns it.
+func (m *Medium) Attach(mobility geo.Mobility) *Radio {
+	r := &Radio{
+		id:       len(m.radios),
+		medium:   m,
+		mobility: mobility,
+		enabled:  true,
+	}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Radios returns the attached radios (shared slice; do not modify).
+func (m *Medium) Radios() []*Radio { return m.radios }
+
+// TxDuration returns the serialization time for a payload of n bytes,
+// including modeled header overhead.
+func (m *Medium) TxDuration(n int) time.Duration {
+	bits := float64(n+m.cfg.HeaderBytes) * 8
+	return time.Duration(bits / m.cfg.DataRateBps * float64(time.Second))
+}
+
+// InRange reports whether radios a and b are currently within transmission
+// range of each other.
+func (m *Medium) InRange(a, b *Radio) bool {
+	return a.Position().Distance(b.Position()) <= m.cfg.Range
+}
+
+// Neighbors returns the IDs of enabled radios currently within range of r
+// (excluding r itself).
+func (m *Medium) Neighbors(r *Radio) []int {
+	var out []int
+	for _, other := range m.radios {
+		if other == r || !other.enabled {
+			continue
+		}
+		if m.InRange(r, other) {
+			out = append(out, other.id)
+		}
+	}
+	return out
+}
+
+// Broadcast transmits payload from radio r. Delivery is scheduled for every
+// enabled radio in range at transmission start; each reception independently
+// suffers loss and collision. The frame is delivered (or dropped) after the
+// serialization time plus propagation delay.
+func (m *Medium) Broadcast(r *Radio, payload []byte) {
+	m.BroadcastNotify(r, payload, nil)
+}
+
+// BroadcastNotify is Broadcast with sender-side collision feedback: after the
+// transmission completes, notify is invoked with whether the frame collided
+// at any in-range receiver. This models the MAC-layer collision detection
+// that PEBA (Section IV-F) relies on.
+func (m *Medium) BroadcastNotify(r *Radio, payload []byte, notify func(collided bool)) {
+	if !r.enabled {
+		if notify != nil {
+			notify(false)
+		}
+		return
+	}
+	size := len(payload) + m.cfg.HeaderBytes
+	m.stats.Transmissions++
+	m.stats.BytesSent += uint64(size)
+	r.Sent++
+
+	start := m.kernel.Now()
+	dur := m.TxDuration(len(payload))
+	end := start + dur + m.cfg.PropagationDelay
+
+	// Half-duplex: remember our own airtime and garble receptions that
+	// overlap it (a transmitting radio cannot hear).
+	r.txWindows = append(r.txWindows, txWindow{start: start, end: end})
+	for _, rec := range r.inFlight {
+		if rec.start < end && start < rec.end {
+			rec.collided = true
+		}
+	}
+
+	frame := Frame{From: r.id, Payload: payload, Size: size}
+	var receptions []*reception
+	for _, rx := range m.radios {
+		if rx == r || !rx.enabled {
+			continue
+		}
+		if !m.InRange(r, rx) {
+			continue
+		}
+		rec := &reception{start: start, end: end}
+		// Overlap with any in-flight reception garbles both.
+		for _, other := range rx.inFlight {
+			if rec.start < other.end && other.start < rec.end {
+				rec.collided = true
+				other.collided = true
+			}
+		}
+		// Overlap with the receiver's own transmissions (half-duplex).
+		kept := rx.txWindows[:0]
+		for _, w := range rx.txWindows {
+			if w.end >= start {
+				kept = append(kept, w)
+				if rec.start < w.end && w.start < rec.end {
+					rec.collided = true
+				}
+			}
+		}
+		rx.txWindows = kept
+		rx.inFlight = append(rx.inFlight, rec)
+		receptions = append(receptions, rec)
+		rx := rx
+		m.kernel.ScheduleAt(end, func() {
+			m.complete(rx, rec, frame)
+		})
+	}
+	if notify != nil {
+		m.kernel.ScheduleAt(end, func() {
+			for _, rec := range receptions {
+				if rec.collided {
+					notify(true)
+					return
+				}
+			}
+			notify(false)
+		})
+	}
+}
+
+// complete finalizes one reception: removes it from the in-flight set and
+// delivers the frame unless it collided or was lost.
+func (m *Medium) complete(rx *Radio, rec *reception, frame Frame) {
+	for i, other := range rx.inFlight {
+		if other == rec {
+			rx.inFlight = append(rx.inFlight[:i], rx.inFlight[i+1:]...)
+			break
+		}
+	}
+	if !rx.enabled {
+		return
+	}
+	if rec.collided {
+		m.stats.Collisions++
+		return
+	}
+	if m.cfg.LossRate > 0 && m.kernel.RNG().Float64() < m.cfg.LossRate {
+		m.stats.Lost++
+		return
+	}
+	m.stats.Deliveries++
+	rx.Received++
+	if rx.handler != nil {
+		rx.handler(frame)
+	}
+}
+
+// String summarizes the stats for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("tx=%d rx=%d collisions=%d lost=%d bytes=%d",
+		s.Transmissions, s.Deliveries, s.Collisions, s.Lost, s.BytesSent)
+}

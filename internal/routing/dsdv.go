@@ -1,0 +1,252 @@
+package routing
+
+import (
+	"encoding/binary"
+	"time"
+
+	"dapes/internal/geo"
+	"dapes/internal/phy"
+	"dapes/internal/sim"
+)
+
+// DSDVConfig parameterizes the proactive protocol.
+type DSDVConfig struct {
+	// UpdatePeriod is the full-table broadcast period (Perkins & Bhagwat
+	// use periodic dumps; mobile settings use a few seconds).
+	UpdatePeriod time.Duration
+	// RouteTTL invalidates routes through next hops not heard from.
+	RouteTTL time.Duration
+	// MaxMetric bounds hop counts; larger metrics are unreachable.
+	MaxMetric int
+	// TxJitter randomizes every transmission's start, modeling the 802.11
+	// MAC's random backoff (the phy layer has no carrier sense).
+	TxJitter time.Duration
+}
+
+func (c DSDVConfig) withDefaults() DSDVConfig {
+	if c.UpdatePeriod == 0 {
+		c.UpdatePeriod = 5 * time.Second
+	}
+	if c.RouteTTL == 0 {
+		c.RouteTTL = 6 * c.UpdatePeriod
+	}
+	if c.MaxMetric == 0 {
+		c.MaxMetric = 16
+	}
+	if c.TxJitter == 0 {
+		c.TxJitter = 10 * time.Millisecond
+	}
+	return c
+}
+
+type dsdvRoute struct {
+	nextHop int
+	metric  int
+	seq     int
+	heard   time.Duration
+}
+
+// DSDV is a destination-sequenced distance-vector router.
+type DSDV struct {
+	id      int
+	k       *sim.Kernel
+	medium  *phy.Medium
+	radio   *phy.Radio
+	cfg     DSDVConfig
+	table   map[int]dsdvRoute
+	ownSeq  int
+	deliver func(src int, payload []byte)
+	running bool
+	tick    *sim.Event
+	ctrlTx  uint64
+	dataTx  uint64
+}
+
+var _ Router = (*DSDV)(nil)
+
+// NewDSDV attaches a DSDV node to the medium.
+func NewDSDV(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg DSDVConfig) *DSDV {
+	d := &DSDV{
+		k:      k,
+		medium: medium,
+		cfg:    cfg.withDefaults(),
+		table:  make(map[int]dsdvRoute),
+	}
+	d.radio = medium.Attach(mobility)
+	d.id = d.radio.ID()
+	d.radio.SetHandler(d.onFrame)
+	return d
+}
+
+// transmit broadcasts wire after the MAC-backoff jitter.
+func (d *DSDV) transmit(wire []byte) {
+	d.k.Schedule(d.k.Jitter(d.cfg.TxJitter), func() {
+		d.medium.Broadcast(d.radio, wire)
+	})
+}
+
+// ID implements Router.
+func (d *DSDV) ID() int { return d.id }
+
+// Radio exposes the node's radio so applications can stack broadcast
+// protocols (e.g. Bithoc's HELLO flooding) on the same attachment.
+func (d *DSDV) Radio() *phy.Radio { return d.radio }
+
+// SetDeliver implements Router.
+func (d *DSDV) SetDeliver(fn func(src int, payload []byte)) { d.deliver = fn }
+
+// ControlTransmissions implements Router.
+func (d *DSDV) ControlTransmissions() uint64 { return d.ctrlTx }
+
+// DataTransmissions counts unicast data frames this node put on the air
+// (including forwards).
+func (d *DSDV) DataTransmissions() uint64 { return d.dataTx }
+
+// RouteTo returns the current next hop and metric for dst, if reachable.
+func (d *DSDV) RouteTo(dst int) (nextHop, metric int, ok bool) {
+	r, exists := d.table[dst]
+	if !exists || r.metric >= d.cfg.MaxMetric {
+		return 0, 0, false
+	}
+	return r.nextHop, r.metric, true
+}
+
+// Start implements Router.
+func (d *DSDV) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.tick = d.k.Schedule(d.k.Jitter(d.cfg.UpdatePeriod), d.periodicUpdate)
+}
+
+// Stop implements Router.
+func (d *DSDV) Stop() {
+	d.running = false
+	if d.tick != nil {
+		d.tick.Cancel()
+	}
+}
+
+// periodicUpdate broadcasts the full routing table — DSDV's defining (and
+// costly) behaviour.
+func (d *DSDV) periodicUpdate() {
+	if !d.running {
+		return
+	}
+	d.expireStale()
+	d.ownSeq += 2 // even sequence numbers mark reachable routes
+	payload := d.encodeTable()
+	f := &frame{Proto: protoDSDVUpdate, Src: d.id, Dst: Broadcast, NextHop: Broadcast, Payload: payload}
+	d.ctrlTx++
+	d.transmit(f.encode())
+	d.tick = d.k.Schedule(d.cfg.UpdatePeriod+d.k.Jitter(d.cfg.UpdatePeriod/4), d.periodicUpdate)
+}
+
+// expireStale invalidates routes whose next hop has gone quiet.
+func (d *DSDV) expireStale() {
+	now := d.k.Now()
+	for dst, r := range d.table {
+		if now-r.heard > d.cfg.RouteTTL {
+			delete(d.table, dst)
+		}
+	}
+}
+
+// encodeTable serializes (dst, metric, seq) triples, with the node itself as
+// the first entry.
+func (d *DSDV) encodeTable() []byte {
+	b := binary.BigEndian.AppendUint16(nil, uint16(len(d.table)+1))
+	b = putU32(b, d.id)
+	b = putU32(b, 0)
+	b = putU32(b, d.ownSeq)
+	for dst, r := range d.table {
+		b = putU32(b, dst)
+		b = putU32(b, r.metric)
+		b = putU32(b, r.seq)
+	}
+	return b
+}
+
+func (d *DSDV) onFrame(fr phy.Frame) {
+	if !d.running {
+		return
+	}
+	f, err := decodeFrame(fr.Payload)
+	if err != nil {
+		return
+	}
+	switch f.Proto {
+	case protoDSDVUpdate:
+		d.handleUpdate(f)
+	case protoData:
+		d.handleData(f)
+	}
+}
+
+// handleUpdate merges a neighbor's advertised table: newer sequence numbers
+// win; equal sequences keep the shorter metric.
+func (d *DSDV) handleUpdate(f *frame) {
+	if len(f.Payload) < 2 {
+		return
+	}
+	n := int(binary.BigEndian.Uint16(f.Payload))
+	pos := 2
+	now := d.k.Now()
+	for i := 0; i < n; i++ {
+		if pos+12 > len(f.Payload) {
+			return
+		}
+		dst := getI32(f.Payload[pos:])
+		metric := getI32(f.Payload[pos+4:]) + 1
+		seq := getI32(f.Payload[pos+8:])
+		pos += 12
+		if dst == d.id {
+			continue
+		}
+		cur, exists := d.table[dst]
+		if !exists || seq > cur.seq || (seq == cur.seq && metric < cur.metric) {
+			if metric < d.cfg.MaxMetric {
+				d.table[dst] = dsdvRoute{nextHop: f.Src, metric: metric, seq: seq, heard: now}
+			}
+		} else if cur.nextHop == f.Src {
+			cur.heard = now
+			d.table[dst] = cur
+		}
+	}
+}
+
+// Send implements Router: unicast via the current next hop.
+func (d *DSDV) Send(dst int, payload []byte) bool {
+	next, _, ok := d.RouteTo(dst)
+	if !ok {
+		return false
+	}
+	f := &frame{Proto: protoData, Src: d.id, Dst: dst, NextHop: next, TTL: d.cfg.MaxMetric, Payload: payload}
+	d.dataTx++
+	d.transmit(f.encode())
+	return true
+}
+
+// handleData forwards or delivers a unicast frame addressed through us.
+func (d *DSDV) handleData(f *frame) {
+	if f.NextHop != d.id {
+		return
+	}
+	if f.Dst == d.id {
+		if d.deliver != nil {
+			d.deliver(f.Src, f.Payload)
+		}
+		return
+	}
+	if f.TTL <= 0 {
+		return
+	}
+	next, _, ok := d.RouteTo(f.Dst)
+	if !ok {
+		return
+	}
+	fwd := &frame{Proto: protoData, Src: f.Src, Dst: f.Dst, NextHop: next, TTL: f.TTL - 1, Payload: f.Payload}
+	d.dataTx++
+	d.transmit(fwd.encode())
+}

@@ -1,0 +1,443 @@
+package routing
+
+import (
+	"time"
+
+	"dapes/internal/geo"
+	"dapes/internal/phy"
+	"dapes/internal/sim"
+)
+
+// DSRConfig parameterizes the reactive protocol.
+type DSRConfig struct {
+	// DiscoveryTimeout bounds one route discovery round before retry.
+	DiscoveryTimeout time.Duration
+	// MaxDiscoveryRetries bounds route request retries before the buffered
+	// payloads are dropped.
+	MaxDiscoveryRetries int
+	// RouteTTL ages out cached routes (mobility breaks them silently).
+	RouteTTL time.Duration
+	// MaxHops bounds RREQ flooding.
+	MaxHops int
+	// BufferLimit bounds payloads queued awaiting a route.
+	BufferLimit int
+	// TxJitter randomizes every transmission's start, modeling the 802.11
+	// MAC's random backoff (the phy layer has no carrier sense).
+	TxJitter time.Duration
+	// HopRepeats is the number of times each unicast data/RREP frame is
+	// put on the air per hop. The phy layer models raw broadcast loss with
+	// no 802.11 unicast ACK/retry; repeating each hop transmission stands
+	// in for the MAC's ARQ (receivers deduplicate by origin sequence).
+	HopRepeats int
+	// FloodJitter spreads RREQ relays over a wider window: a route-request
+	// flood makes every node in range rebroadcast, and without substantial
+	// dispersion those relays collide and the discovery fails.
+	FloodJitter time.Duration
+}
+
+func (c DSRConfig) withDefaults() DSRConfig {
+	if c.DiscoveryTimeout == 0 {
+		c.DiscoveryTimeout = 2 * time.Second
+	}
+	if c.MaxDiscoveryRetries == 0 {
+		c.MaxDiscoveryRetries = 3
+	}
+	if c.RouteTTL == 0 {
+		c.RouteTTL = 30 * time.Second
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 16
+	}
+	if c.BufferLimit == 0 {
+		c.BufferLimit = 64
+	}
+	if c.TxJitter == 0 {
+		c.TxJitter = 10 * time.Millisecond
+	}
+	if c.FloodJitter == 0 {
+		c.FloodJitter = 150 * time.Millisecond
+	}
+	if c.HopRepeats == 0 {
+		c.HopRepeats = 2
+	}
+	return c
+}
+
+type cachedRoute struct {
+	hops  []int // full path src..dst inclusive
+	since time.Duration
+}
+
+type pendingDiscovery struct {
+	payloads [][]byte
+	retries  int
+	timer    *sim.Event
+}
+
+// DSR is a dynamic source routing node.
+type DSR struct {
+	id      int
+	k       *sim.Kernel
+	medium  *phy.Medium
+	radio   *phy.Radio
+	cfg     DSRConfig
+	routes  map[int]cachedRoute
+	pending map[int]*pendingDiscovery
+	seenReq map[int]map[int]bool // origin -> reqID set
+	reqID   int
+	txSeq   uint32
+	seenSeq map[uint64]bool // dedup of repeated unicast frames
+	deliver func(src int, payload []byte)
+	running bool
+	ctrlTx  uint64
+	dataTx  uint64
+}
+
+var _ Router = (*DSR)(nil)
+
+// NewDSR attaches a DSR node to the medium.
+func NewDSR(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg DSRConfig) *DSR {
+	d := &DSR{
+		k:       k,
+		medium:  medium,
+		cfg:     cfg.withDefaults(),
+		routes:  make(map[int]cachedRoute),
+		pending: make(map[int]*pendingDiscovery),
+		seenReq: make(map[int]map[int]bool),
+		seenSeq: make(map[uint64]bool),
+	}
+	d.radio = medium.Attach(mobility)
+	d.id = d.radio.ID()
+	d.radio.SetHandler(d.onFrame)
+	return d
+}
+
+// ID implements Router.
+func (d *DSR) ID() int { return d.id }
+
+// transmit broadcasts wire after the MAC-backoff jitter.
+func (d *DSR) transmit(wire []byte) {
+	d.k.Schedule(d.k.Jitter(d.cfg.TxJitter), func() {
+		d.medium.Broadcast(d.radio, wire)
+	})
+}
+
+// transmitRepeated puts wire on the air HopRepeats times (MAC ARQ model);
+// each repetition is separately counted and jittered.
+func (d *DSR) transmitRepeated(wire []byte, count *uint64) {
+	for i := 0; i < d.cfg.HopRepeats; i++ {
+		delay := time.Duration(i)*d.cfg.TxJitter + d.k.Jitter(d.cfg.TxJitter)
+		d.k.Schedule(delay, func() {
+			*count++
+			d.medium.Broadcast(d.radio, wire)
+		})
+	}
+}
+
+// dedupe reports whether a (src, seq) frame was already processed here.
+func (d *DSR) dedupe(src int, seq uint32) bool {
+	key := uint64(uint32(src))<<32 | uint64(seq)
+	if d.seenSeq[key] {
+		return true
+	}
+	if len(d.seenSeq) > 8192 {
+		d.seenSeq = make(map[uint64]bool, 1024)
+	}
+	d.seenSeq[key] = true
+	return false
+}
+
+// Radio exposes the node's radio for stacked broadcast protocols.
+func (d *DSR) Radio() *phy.Radio { return d.radio }
+
+// SetDeliver implements Router.
+func (d *DSR) SetDeliver(fn func(src int, payload []byte)) { d.deliver = fn }
+
+// ControlTransmissions implements Router.
+func (d *DSR) ControlTransmissions() uint64 { return d.ctrlTx }
+
+// DataTransmissions counts source-routed data frames sent or forwarded.
+func (d *DSR) DataTransmissions() uint64 { return d.dataTx }
+
+// Start implements Router.
+func (d *DSR) Start() { d.running = true }
+
+// Stop implements Router.
+func (d *DSR) Stop() { d.running = false }
+
+// HasRoute reports whether a live cached route to dst exists.
+func (d *DSR) HasRoute(dst int) bool {
+	r, ok := d.routes[dst]
+	return ok && d.k.Now()-r.since <= d.cfg.RouteTTL
+}
+
+// InvalidateRoute drops the cached route to dst; upper layers call this when
+// deliveries time out (our simplified stand-in for DSR route-error
+// maintenance).
+func (d *DSR) InvalidateRoute(dst int) {
+	delete(d.routes, dst)
+}
+
+// Send implements Router: source-route if a route is cached, otherwise
+// buffer the payload and launch route discovery. Returns false only when
+// the discovery buffer is full.
+func (d *DSR) Send(dst int, payload []byte) bool {
+	if dst == d.id {
+		if d.deliver != nil {
+			d.deliver(d.id, payload)
+		}
+		return true
+	}
+	if d.HasRoute(dst) {
+		d.sendAlong(d.routes[dst].hops, payload)
+		return true
+	}
+	p, ok := d.pending[dst]
+	if !ok {
+		p = &pendingDiscovery{}
+		d.pending[dst] = p
+		d.launchDiscovery(dst, p)
+	}
+	if len(p.payloads) >= d.cfg.BufferLimit {
+		return false
+	}
+	p.payloads = append(p.payloads, append([]byte(nil), payload...))
+	return true
+}
+
+// launchDiscovery floods a route request for dst.
+func (d *DSR) launchDiscovery(dst int, p *pendingDiscovery) {
+	if !d.running {
+		return
+	}
+	d.reqID++
+	f := &frame{
+		Proto:   protoRREQ,
+		Src:     d.id,
+		Dst:     dst,
+		NextHop: Broadcast,
+		TTL:     d.cfg.MaxHops,
+		Route:   []int{d.id},
+		Payload: putU32(nil, d.reqID),
+	}
+	d.markSeen(d.id, d.reqID)
+	d.ctrlTx++
+	d.transmit(f.encode())
+
+	p.timer = d.k.Schedule(d.cfg.DiscoveryTimeout, func() {
+		if d.HasRoute(dst) {
+			return
+		}
+		p.retries++
+		if p.retries >= d.cfg.MaxDiscoveryRetries {
+			delete(d.pending, dst) // drop buffered payloads
+			return
+		}
+		d.launchDiscovery(dst, p)
+	})
+}
+
+func (d *DSR) markSeen(origin, id int) bool {
+	set, ok := d.seenReq[origin]
+	if !ok {
+		set = make(map[int]bool)
+		d.seenReq[origin] = set
+	}
+	if set[id] {
+		return false
+	}
+	set[id] = true
+	return true
+}
+
+// sendAlong transmits a source-routed data frame along hops (hops[0] is the
+// origin). A zero seq means this node originates the frame and stamps a
+// fresh sequence number.
+func (d *DSR) sendAlong(hops []int, payload []byte) {
+	d.txSeq++
+	d.forwardAlong(hops, payload, d.txSeq)
+}
+
+func (d *DSR) forwardAlong(hops []int, payload []byte, seq uint32) {
+	idx := indexOf(hops, d.id)
+	if idx < 0 || idx+1 >= len(hops) {
+		return
+	}
+	f := &frame{
+		Proto:   protoData,
+		Src:     hops[0],
+		Dst:     hops[len(hops)-1],
+		NextHop: hops[idx+1],
+		TTL:     d.cfg.MaxHops,
+		Seq:     seq,
+		Route:   hops,
+		Payload: payload,
+	}
+	d.transmitRepeated(f.encode(), &d.dataTx)
+}
+
+func indexOf(hops []int, id int) int {
+	for i, h := range hops {
+		if h == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (d *DSR) onFrame(fr phy.Frame) {
+	if !d.running {
+		return
+	}
+	f, err := decodeFrame(fr.Payload)
+	if err != nil {
+		return
+	}
+	switch f.Proto {
+	case protoRREQ:
+		d.handleRREQ(f)
+	case protoRREP:
+		d.handleRREP(f)
+	case protoData:
+		d.handleData(f)
+	}
+}
+
+// handleRREQ appends this node to the route record and either answers (we
+// are the target) or re-floods.
+func (d *DSR) handleRREQ(f *frame) {
+	if len(f.Payload) < 4 {
+		return
+	}
+	reqID := getI32(f.Payload)
+	if indexOf(f.Route, d.id) >= 0 {
+		return // already on the path
+	}
+	if !d.markSeen(f.Src, reqID) {
+		return // duplicate flood
+	}
+	route := append(append([]int(nil), f.Route...), d.id)
+	if f.Dst == d.id {
+		// Answer along the reverse of the accumulated route.
+		d.routes[f.Src] = cachedRoute{hops: reverse(route), since: d.k.Now()}
+		rep := &frame{
+			Proto:   protoRREP,
+			Src:     d.id,
+			Dst:     f.Src,
+			NextHop: route[len(route)-2],
+			Route:   route,
+		}
+		d.ctrlTx++
+		d.transmit(rep.encode())
+		return
+	}
+	// Cached-route reply (standard DSR): an intermediate holding a live
+	// route to the target answers directly and suppresses its re-flood,
+	// shrinking discovery storms dramatically.
+	if cached, ok := d.routes[f.Dst]; ok && d.k.Now()-cached.since <= 5*time.Second {
+		if sub := indexOf(cached.hops, d.id); sub >= 0 && !overlaps(f.Route, cached.hops[sub+1:]) {
+			full := append(route, cached.hops[sub+1:]...)
+			d.routes[f.Src] = cachedRoute{hops: reverse(route), since: d.k.Now()}
+			rep := &frame{
+				Proto:   protoRREP,
+				Src:     d.id,
+				Dst:     f.Src,
+				NextHop: route[len(route)-2],
+				Route:   full,
+			}
+			d.ctrlTx++
+			d.transmit(rep.encode())
+			return
+		}
+	}
+	if f.TTL <= 0 {
+		return
+	}
+	fwd := &frame{
+		Proto: protoRREQ, Src: f.Src, Dst: f.Dst, NextHop: Broadcast,
+		TTL: f.TTL - 1, Route: route, Payload: f.Payload,
+	}
+	wire := fwd.encode()
+	d.k.Schedule(d.k.Jitter(d.cfg.FloodJitter), func() {
+		d.ctrlTx++
+		d.medium.Broadcast(d.radio, wire)
+	})
+}
+
+// overlaps reports whether the two hop lists share any node (a spliced
+// route must not loop).
+func overlaps(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func reverse(hops []int) []int {
+	out := make([]int, len(hops))
+	for i, h := range hops {
+		out[len(hops)-1-i] = h
+	}
+	return out
+}
+
+// handleRREP relays the reply back toward the requester, caching the route
+// at the requester when it arrives.
+func (d *DSR) handleRREP(f *frame) {
+	if f.NextHop != d.id {
+		return
+	}
+	if f.Dst == d.id {
+		// f.Route is origin..target in request direction.
+		d.routes[f.Route[len(f.Route)-1]] = cachedRoute{hops: f.Route, since: d.k.Now()}
+		if p, ok := d.pending[f.Route[len(f.Route)-1]]; ok {
+			if p.timer != nil {
+				p.timer.Cancel()
+			}
+			delete(d.pending, f.Route[len(f.Route)-1])
+			for _, payload := range p.payloads {
+				d.sendAlong(f.Route, payload)
+			}
+		}
+		return
+	}
+	idx := indexOf(f.Route, d.id)
+	if idx <= 0 {
+		return
+	}
+	// Opportunistic caching: intermediate nodes learn the sub-route to the
+	// target, a standard DSR optimization.
+	d.routes[f.Route[len(f.Route)-1]] = cachedRoute{hops: f.Route[idx:], since: d.k.Now()}
+	rep := &frame{Proto: protoRREP, Src: f.Src, Dst: f.Dst, NextHop: f.Route[idx-1], Route: f.Route}
+	d.ctrlTx++
+	d.transmit(rep.encode())
+}
+
+// handleData forwards along the embedded source route or delivers. The
+// receiver caches the reverse of the traversed route — wireless links are
+// bidirectional, so a frame's source route is a free route back to its
+// origin (standard DSR optimization; without it every reply needs its own
+// discovery flood).
+func (d *DSR) handleData(f *frame) {
+	if f.NextHop != d.id {
+		return
+	}
+	if d.dedupe(f.Src, f.Seq) {
+		return
+	}
+	idx := indexOf(f.Route, d.id)
+	if idx > 0 {
+		d.routes[f.Src] = cachedRoute{hops: reverse(f.Route[:idx+1]), since: d.k.Now()}
+	}
+	if f.Dst == d.id {
+		if d.deliver != nil {
+			d.deliver(f.Src, f.Payload)
+		}
+		return
+	}
+	d.forwardAlong(f.Route, f.Payload, f.Seq)
+}

@@ -1,0 +1,226 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives every experiment in this repository: a single virtual
+// clock, a binary-heap event queue, and a seeded random number generator.
+// Two runs with the same seed execute the same event trace, which makes
+// experiments reproducible and testable.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// before the event queue drained or the horizon was reached.
+var ErrStopped = errors.New("simulation stopped")
+
+// Event is a scheduled callback. Events fire in timestamp order; ties break
+// on sequence number (FIFO among equal timestamps) so execution order is
+// fully deterministic.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	index    int
+	canceled bool
+	fn       func()
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns a kernel whose random stream is seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// RNG returns the kernel's deterministic random number generator. All model
+// randomness must come from this stream to preserve reproducibility.
+func (k *Kernel) RNG() *rand.Rand { return k.rng }
+
+// EventsFired returns the number of events executed so far.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Pending returns the number of events currently queued (including canceled
+// events that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule enqueues fn to run after delay (relative to Now). A negative delay
+// is clamped to zero. The returned Event may be used to cancel the callback.
+func (k *Kernel) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn to run at absolute virtual time at. Times in the
+// past are clamped to Now.
+func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Event {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	ev := &Event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// Stop halts the simulation: Run returns ErrStopped after the current event
+// completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the next pending event, if any, and reports whether an event
+// ran. Canceled events are skipped (and counted as not run).
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev, ok := heap.Pop(&k.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		k.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, the horizon is exceeded, or
+// Stop is called. A zero horizon means no time limit. When a horizon is
+// given, the clock always advances to it (even if the queue drains earlier),
+// so successive Run calls model contiguous stretches of virtual time. It
+// returns nil when the queue drained or the horizon was reached, and
+// ErrStopped if Stop was called.
+func (k *Kernel) Run(horizon time.Duration) error {
+	k.stopped = false
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		next := k.queue[0]
+		if next.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if horizon > 0 && next.at > horizon {
+			k.now = horizon
+			return nil
+		}
+		k.Step()
+	}
+	if horizon > k.now {
+		k.now = horizon
+	}
+	return nil
+}
+
+// RunUntil executes events while cond returns false, stopping as soon as it
+// returns true (checked after every event) or when the queue drains or the
+// horizon passes. It reports whether cond was satisfied.
+func (k *Kernel) RunUntil(horizon time.Duration, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	for len(k.queue) > 0 {
+		next := k.queue[0]
+		if next.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if horizon > 0 && next.at > horizon {
+			k.now = horizon
+			return false
+		}
+		k.Step()
+		if cond() {
+			return true
+		}
+	}
+	if horizon > k.now {
+		k.now = horizon
+	}
+	return false
+}
+
+// Jitter returns a uniformly random duration in [0, max). It returns 0 when
+// max <= 0.
+func (k *Kernel) Jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(k.rng.Int63n(int64(max)))
+}
+
+// Uniform returns a uniformly random duration in [lo, hi). It returns lo when
+// hi <= lo.
+func (k *Kernel) Uniform(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(k.rng.Int63n(int64(hi-lo)))
+}

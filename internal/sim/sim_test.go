@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelRunsEventsInOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.Schedule(3*time.Second, func() { order = append(order, 3) })
+	k.Schedule(1*time.Second, func() { order = append(order, 1) })
+	k.Schedule(2*time.Second, func() { order = append(order, 2) })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("now = %v, want 3s", k.Now())
+	}
+}
+
+func TestKernelFIFOAmongEqualTimestamps(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	ev := k.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	if err := k.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestKernelHorizonStopsClock(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(10*time.Second, func() { fired = true })
+	if err := k.Run(5 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("now = %v, want 5s", k.Now())
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	k.Schedule(time.Second, func() { count++; k.Stop() })
+	k.Schedule(2*time.Second, func() { count++ })
+	if err := k.Run(0); err != ErrStopped {
+		t.Fatalf("run = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestKernelScheduleInsideEvent(t *testing.T) {
+	k := NewKernel(1)
+	var times []time.Duration
+	k.Schedule(time.Second, func() {
+		times = append(times, k.Now())
+		k.Schedule(time.Second, func() { times = append(times, k.Now()) })
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestKernelNegativeDelayClamped(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(-time.Second, func() { fired = true })
+	k.Run(0)
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("now = %v, want 0", k.Now())
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	ok := k.RunUntil(0, func() bool { return count >= 4 })
+	if !ok {
+		t.Fatal("RunUntil did not satisfy cond")
+	}
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if k.Now() != 4*time.Second {
+		t.Fatalf("now = %v, want 4s", k.Now())
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		k := NewKernel(seed)
+		var vals []int64
+		for i := 0; i < 100; i++ {
+			d := k.Jitter(time.Second)
+			k.Schedule(d, func() { vals = append(vals, int64(k.Now())) })
+		}
+		k.Run(0)
+		return vals
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	k := NewKernel(7)
+	for i := 0; i < 1000; i++ {
+		d := k.Uniform(time.Second, 2*time.Second)
+		if d < time.Second || d >= 2*time.Second {
+			t.Fatalf("Uniform out of range: %v", d)
+		}
+	}
+	if got := k.Uniform(time.Second, time.Second); got != time.Second {
+		t.Fatalf("degenerate Uniform = %v, want 1s", got)
+	}
+}
+
+func TestJitterZero(t *testing.T) {
+	k := NewKernel(7)
+	if got := k.Jitter(0); got != 0 {
+		t.Fatalf("Jitter(0) = %v, want 0", got)
+	}
+	if got := k.Jitter(-time.Second); got != 0 {
+		t.Fatalf("Jitter(-1s) = %v, want 0", got)
+	}
+}
+
+func TestEventTimeMonotonicProperty(t *testing.T) {
+	// Property: regardless of the scheduling pattern, observed event times
+	// are non-decreasing.
+	f := func(delays []uint16) bool {
+		k := NewKernel(3)
+		var seen []time.Duration
+		for _, d := range delays {
+			k.Schedule(time.Duration(d)*time.Millisecond, func() {
+				seen = append(seen, k.Now())
+			})
+		}
+		k.Run(0)
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

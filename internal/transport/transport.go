@@ -1,0 +1,211 @@
+// Package transport provides the end-to-end services the IP baselines use on
+// top of internal/routing: a reliable message service with acknowledgements,
+// retransmission timeouts, and exponential backoff (standing in for TCP in
+// Bithoc), and a fire-and-forget datagram service (UDP in Ekta).
+//
+// The paper attributes part of Bithoc's overhead to TCP's degradation over
+// multiple wireless hops [Holland & Vaidya]; the retransmission machinery
+// here reproduces that cost on the shared medium.
+package transport
+
+import (
+	"encoding/binary"
+	"time"
+
+	"dapes/internal/routing"
+	"dapes/internal/sim"
+)
+
+// Message kinds inside a transport payload.
+const (
+	msgData = 1
+	msgAck  = 2
+)
+
+// Config parameterizes the reliable service.
+type Config struct {
+	// RTO is the initial retransmission timeout; it doubles per retry (the
+	// backoff is capped at 8x RTO, as deployed TCPs cap theirs).
+	RTO time.Duration
+	// MaxRetries bounds retransmissions before the message fails.
+	MaxRetries int
+	// Jitter randomizes each transmission's start, standing in for the MAC
+	// layer's random backoff; without it, synchronized retransmissions
+	// collide repeatedly on the shared medium.
+	Jitter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTO == 0 {
+		c.RTO = 500 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 5
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Reliable is an acknowledged message service over a Router.
+type Reliable struct {
+	k      *sim.Kernel
+	router routing.Router
+	cfg    Config
+
+	nextID  uint32
+	pending map[uint32]*outstanding
+	seen    map[int]map[uint32]bool // src -> delivered message IDs
+	onRecv  func(src int, payload []byte)
+
+	// Retransmissions counts timeout-driven resends (TCP-style overhead).
+	Retransmissions uint64
+	// Failures counts messages dropped after MaxRetries.
+	Failures uint64
+	// AcksSent counts acknowledgement transmissions.
+	AcksSent uint64
+}
+
+type outstanding struct {
+	dst     int
+	payload []byte
+	retries int
+	timer   *sim.Event
+	onDone  func(ok bool)
+}
+
+// NewReliable wraps the router with the acknowledged service. It installs
+// itself as the router's deliver callback.
+func NewReliable(k *sim.Kernel, router routing.Router, cfg Config) *Reliable {
+	r := &Reliable{
+		k:       k,
+		router:  router,
+		cfg:     cfg.withDefaults(),
+		pending: make(map[uint32]*outstanding),
+		seen:    make(map[int]map[uint32]bool),
+	}
+	router.SetDeliver(r.onRouterDeliver)
+	return r
+}
+
+// SetReceive installs the application receive callback.
+func (r *Reliable) SetReceive(fn func(src int, payload []byte)) { r.onRecv = fn }
+
+// Send transmits payload to dst with at-least-once delivery and duplicate
+// suppression at the receiver. onDone (optional) reports final success or
+// failure.
+func (r *Reliable) Send(dst int, payload []byte, onDone func(ok bool)) {
+	r.nextID++
+	id := r.nextID
+	out := &outstanding{dst: dst, payload: append([]byte(nil), payload...), onDone: onDone}
+	r.pending[id] = out
+	r.transmit(id, out, r.cfg.RTO)
+}
+
+func (r *Reliable) transmit(id uint32, out *outstanding, rto time.Duration) {
+	r.k.Schedule(r.k.Jitter(r.cfg.Jitter), func() {
+		if _, live := r.pending[id]; !live {
+			return
+		}
+		hdr := []byte{msgData}
+		hdr = binary.BigEndian.AppendUint32(hdr, id)
+		// A false return means no route yet (e.g. DSDV still converging);
+		// the retry timer below covers that case too.
+		r.router.Send(out.dst, append(hdr, out.payload...))
+	})
+	out.timer = r.k.Schedule(r.cfg.Jitter+rto, func() {
+		if _, live := r.pending[id]; !live {
+			return
+		}
+		out.retries++
+		if out.retries > r.cfg.MaxRetries {
+			delete(r.pending, id)
+			r.Failures++
+			if rt, isDSR := r.router.(*routing.DSR); isDSR {
+				rt.InvalidateRoute(out.dst)
+			}
+			if out.onDone != nil {
+				out.onDone(false)
+			}
+			return
+		}
+		r.Retransmissions++
+		next := rto * 2
+		if maxRTO := 8 * r.cfg.RTO; next > maxRTO {
+			next = maxRTO // cap backoff, as TCP implementations do
+		}
+		r.transmit(id, out, next)
+	})
+}
+
+func (r *Reliable) onRouterDeliver(src int, payload []byte) {
+	if len(payload) < 5 {
+		return
+	}
+	kind := payload[0]
+	id := binary.BigEndian.Uint32(payload[1:5])
+	switch kind {
+	case msgData:
+		// Ack unconditionally (acks are lost sometimes; sender retries).
+		ack := []byte{msgAck}
+		ack = binary.BigEndian.AppendUint32(ack, id)
+		r.k.Schedule(r.k.Jitter(r.cfg.Jitter), func() {
+			r.AcksSent++
+			r.router.Send(src, ack)
+		})
+
+		set, ok := r.seen[src]
+		if !ok {
+			set = make(map[uint32]bool)
+			r.seen[src] = set
+		}
+		if set[id] {
+			return // duplicate
+		}
+		set[id] = true
+		if r.onRecv != nil {
+			r.onRecv(src, payload[5:])
+		}
+	case msgAck:
+		out, ok := r.pending[id]
+		if !ok {
+			return
+		}
+		out.timer.Cancel()
+		delete(r.pending, id)
+		if out.onDone != nil {
+			out.onDone(true)
+		}
+	}
+}
+
+// Pending returns the number of unacknowledged messages.
+func (r *Reliable) Pending() int { return len(r.pending) }
+
+// Datagram is the unreliable service: a thin veneer over the router that
+// multiplexes with Reliable-format payloads (kind byte 0).
+type Datagram struct {
+	router routing.Router
+	onRecv func(src int, payload []byte)
+}
+
+// NewDatagram wraps the router. It installs itself as the deliver callback,
+// so use either Reliable or Datagram per router, not both.
+func NewDatagram(router routing.Router) *Datagram {
+	d := &Datagram{router: router}
+	router.SetDeliver(func(src int, payload []byte) {
+		if d.onRecv != nil {
+			d.onRecv(src, payload)
+		}
+	})
+	return d
+}
+
+// SetReceive installs the receive callback.
+func (d *Datagram) SetReceive(fn func(src int, payload []byte)) { d.onRecv = fn }
+
+// Send transmits best-effort.
+func (d *Datagram) Send(dst int, payload []byte) bool {
+	return d.router.Send(dst, payload)
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"dapes/internal/geo"
+	"dapes/internal/phy"
+	"dapes/internal/routing"
+	"dapes/internal/sim"
+)
+
+func dsdvPair(k *sim.Kernel, lossRate float64) (*routing.DSDV, *routing.DSDV) {
+	medium := phy.NewMedium(k, phy.Config{Range: 50, LossRate: lossRate})
+	a := routing.NewDSDV(k, medium, geo.Stationary{}, routing.DSDVConfig{})
+	b := routing.NewDSDV(k, medium, geo.Stationary{At: geo.Point{X: 20}}, routing.DSDVConfig{})
+	a.Start()
+	b.Start()
+	return a, b
+}
+
+func TestReliableDelivery(t *testing.T) {
+	k := sim.NewKernel(61)
+	a, b := dsdvPair(k, 0)
+	ra := NewReliable(k, a, Config{})
+	rb := NewReliable(k, b, Config{})
+
+	var got []string
+	rb.SetReceive(func(src int, payload []byte) { got = append(got, string(payload)) })
+	var acked bool
+	k.Run(30 * time.Second) // converge routes
+	k.Schedule(0, func() { ra.Send(b.ID(), []byte("hello"), func(ok bool) { acked = ok }) })
+	k.Run(40 * time.Second)
+
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("delivery = %v", got)
+	}
+	if !acked {
+		t.Fatal("ack callback not fired")
+	}
+	if ra.Pending() != 0 {
+		t.Fatalf("pending = %d", ra.Pending())
+	}
+}
+
+func TestReliableRetransmitsUnderLoss(t *testing.T) {
+	k := sim.NewKernel(62)
+	a, b := dsdvPair(k, 0.4)
+	ra := NewReliable(k, a, Config{RTO: 200 * time.Millisecond, MaxRetries: 10})
+	rb := NewReliable(k, b, Config{})
+
+	delivered := 0
+	rb.SetReceive(func(int, []byte) { delivered++ })
+	k.Run(60 * time.Second)
+	const n = 20
+	for i := 0; i < n; i++ {
+		k.Schedule(time.Duration(i)*100*time.Millisecond, func() {
+			ra.Send(b.ID(), []byte("m"), nil)
+		})
+	}
+	k.Run(3 * time.Minute)
+
+	if delivered != n {
+		t.Fatalf("delivered %d of %d under 40%% loss", delivered, n)
+	}
+	if ra.Retransmissions == 0 {
+		t.Fatal("no retransmissions despite loss")
+	}
+}
+
+func TestReliableDuplicateSuppression(t *testing.T) {
+	// With heavy ack loss the sender retransmits, but the receiver must
+	// deliver each message exactly once.
+	k := sim.NewKernel(63)
+	a, b := dsdvPair(k, 0.4)
+	ra := NewReliable(k, a, Config{RTO: 150 * time.Millisecond, MaxRetries: 20})
+	rb := NewReliable(k, b, Config{})
+	delivered := 0
+	rb.SetReceive(func(int, []byte) { delivered++ })
+	k.Run(60 * time.Second)
+	k.Schedule(0, func() { ra.Send(b.ID(), []byte("once"), nil) })
+	k.Run(2 * time.Minute)
+	if delivered != 1 {
+		t.Fatalf("delivered %d times, want exactly 1", delivered)
+	}
+}
+
+func TestReliableFailureAfterMaxRetries(t *testing.T) {
+	k := sim.NewKernel(64)
+	medium := phy.NewMedium(k, phy.Config{Range: 50})
+	a := routing.NewDSDV(k, medium, geo.Stationary{}, routing.DSDVConfig{})
+	a.Start()
+	ra := NewReliable(k, a, Config{RTO: 100 * time.Millisecond, MaxRetries: 3})
+
+	var failed bool
+	k.Schedule(0, func() {
+		ra.Send(999, []byte("void"), func(ok bool) { failed = !ok })
+	})
+	k.Run(time.Minute)
+	if !failed {
+		t.Fatal("unreachable destination did not fail")
+	}
+	if ra.Failures != 1 {
+		t.Fatalf("Failures = %d", ra.Failures)
+	}
+}
+
+func TestDatagramBestEffort(t *testing.T) {
+	k := sim.NewKernel(65)
+	a, b := dsdvPair(k, 0)
+	da := NewDatagram(a)
+	db := NewDatagram(b)
+	got := 0
+	db.SetReceive(func(int, []byte) { got++ })
+	_ = da
+	k.Run(30 * time.Second)
+	k.Schedule(0, func() {
+		if !da.Send(b.ID(), []byte("dgram")) {
+			t.Error("send refused with converged route")
+		}
+	})
+	k.Run(40 * time.Second)
+	if got != 1 {
+		t.Fatalf("datagrams received = %d", got)
+	}
+}
+
+func TestReliableOverDSRInvalidatesRoutesOnFailure(t *testing.T) {
+	k := sim.NewKernel(66)
+	medium := phy.NewMedium(k, phy.Config{Range: 50})
+	a := routing.NewDSR(k, medium, geo.Stationary{}, routing.DSRConfig{})
+	// b departs after 5 s, breaking the cached route.
+	b := routing.NewDSR(k, medium, geo.NewScripted([]geo.Waypoint{
+		{At: 0, Pos: geo.Point{X: 20}},
+		{At: 5 * time.Second, Pos: geo.Point{X: 20}},
+		{At: 6 * time.Second, Pos: geo.Point{X: 2000}},
+	}), routing.DSRConfig{})
+	a.Start()
+	b.Start()
+	ra := NewReliable(k, a, Config{RTO: 200 * time.Millisecond, MaxRetries: 3})
+	NewReliable(k, b, Config{})
+
+	k.Schedule(time.Second, func() { ra.Send(b.ID(), []byte("pre"), nil) })
+	k.Run(10 * time.Second)
+	if !a.HasRoute(b.ID()) {
+		t.Fatal("route not established while in range")
+	}
+	var failed bool
+	k.Schedule(0, func() { ra.Send(b.ID(), []byte("post"), func(ok bool) { failed = !ok }) })
+	k.Run(time.Minute)
+	if !failed {
+		t.Fatal("send to departed node did not fail")
+	}
+	if a.HasRoute(b.ID()) {
+		t.Fatal("broken route not invalidated")
+	}
+}
