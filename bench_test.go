@@ -1,12 +1,13 @@
 // Package dapes_bench regenerates every table and figure of the paper's
 // evaluation (Section VI) as Go benchmarks: one testing.B target per figure.
 // Each bench runs the corresponding experiment at bench scale (a reduced
-// workload; see EXPERIMENTS.md) and reports the headline metric the paper
+// workload; see docs/EXPERIMENTS.md) and reports the headline metric the paper
 // plots via b.ReportMetric, so `go test -bench=. -benchmem` prints the same
 // series the paper does. `cmd/dapes-bench` renders the full tables.
 package dapes_bench
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -212,5 +213,54 @@ func BenchmarkAblationAdaptiveBeacon(b *testing.B) {
 		adaptive, fixed := experiment.BeaconAblation(10 * time.Minute)
 		b.ReportMetric(float64(adaptive), "beacons_adaptive")
 		b.ReportMetric(float64(fixed), "beacons_fixed")
+	}
+}
+
+// benchRunner drives the registry's fig7-dapes scenario through the trial
+// runner at the given pool size; the two benchmarks below give the wall-clock
+// speedup of parallel fan-out (the metrics themselves are identical by
+// construction).
+func benchRunner(b *testing.B, workers int) {
+	b.Helper()
+	s := benchScale()
+	s.Trials = 4
+	sc, ok := experiment.Lookup("fig7-dapes")
+	if !ok {
+		b.Fatal("fig7-dapes not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Runner{Workers: workers}.Run(sc, s, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DownloadTime90.Seconds(), "s_download_p90")
+	}
+}
+
+// BenchmarkRunnerSerial is the 4-trial fig7-dapes run in one goroutine.
+func BenchmarkRunnerSerial(b *testing.B) { benchRunner(b, 1) }
+
+// BenchmarkRunnerParallel is the same run fanned across all cores.
+func BenchmarkRunnerParallel(b *testing.B) { benchRunner(b, runtime.NumCPU()) }
+
+// BenchmarkScenarioUrbanGrid runs the dense-grid scaling scenario at a
+// reduced node mix (5x multiplication still applies); this is the number
+// performance PRs should move.
+func BenchmarkScenarioUrbanGrid(b *testing.B) {
+	s := benchScale()
+	s.Trials = 1
+	s.MobileDown = 4
+	s.PureForwarders = 2
+	s.Intermediates = 2
+	sc, ok := experiment.Lookup("urban-grid")
+	if !ok {
+		b.Fatal("urban-grid not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Runner{}.Run(sc, s, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DownloadTime90.Seconds(), "s_download_p90")
 	}
 }

@@ -1,6 +1,8 @@
 // Command dapes-bench regenerates every table and figure of the paper's
 // evaluation section and prints them in the same organization the paper
-// reports. Scale is selectable: -scale=quick|reduced|full.
+// reports. Scale is selectable (-scale=quick|reduced|full), trials fan out
+// across -workers goroutines without changing any number, and -format=json
+// or csv emits machine-readable tables for plotting or regression tracking.
 package main
 
 import (
@@ -22,6 +24,9 @@ func main() {
 func run() error {
 	scaleName := flag.String("scale", "reduced", "workload scale: quick, reduced, or full")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. 9a,9b,10,tableI); empty = all")
+	workers := flag.Int("workers", 1, "concurrent trials per configuration; results are identical at any pool size")
+	format := flag.String("format", "text", "output format: text, json, or csv")
+	outPath := flag.String("o", "", "write results to this file instead of stdout")
 	flag.Parse()
 
 	var scale experiment.Scale
@@ -35,6 +40,13 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
+	scale.Workers = *workers
+
+	out, f, closeOut, err := experiment.OpenOutput(*outPath, *format)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
 
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -59,6 +71,17 @@ func run() error {
 		{"9h", experiment.Fig9h},
 		{"tableI", experiment.TableI},
 	}
+	// Text and CSV stream each table as its experiment completes, so a
+	// failure hours into a full-scale run does not discard finished work;
+	// JSON is one array and necessarily buffers until the end.
+	var tables []experiment.Table
+	emit := func(ts ...experiment.Table) error {
+		if f == experiment.FormatJSON {
+			tables = append(tables, ts...)
+			return nil
+		}
+		return experiment.EmitTables(out, f, ts...)
+	}
 	for _, e := range singles {
 		if !want(e.id) {
 			continue
@@ -67,15 +90,21 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.id, err)
 		}
-		fmt.Println(t)
+		if err := emit(t); err != nil {
+			return err
+		}
 	}
 	if want("10") || want("10a") || want("10b") {
 		a, b, err := experiment.Fig10(scale)
 		if err != nil {
 			return fmt.Errorf("experiment 10: %w", err)
 		}
-		fmt.Println(a)
-		fmt.Println(b)
+		if err := emit(a, b); err != nil {
+			return err
+		}
+	}
+	if f == experiment.FormatJSON {
+		return experiment.EmitTables(out, f, tables...)
 	}
 	return nil
 }

@@ -1,11 +1,15 @@
-// Command dapes-sim runs a single Fig.-7 simulation trial with custom
-// parameters and prints its metrics — useful for exploring one point of the
-// design space without regenerating a whole figure.
+// Command dapes-sim runs one scenario from the experiment registry — paper
+// reproductions, baselines, ablations, or the post-paper workloads — with
+// custom parameters, fanning trials across a worker pool. Use -list to
+// enumerate what can run, -scenario to pick one, and -format=json|csv for
+// machine-readable results. The legacy -system flag still drives an ad-hoc
+// DAPES/Bithoc/Ekta configuration built from the individual knobs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,13 +26,20 @@ func main() {
 
 func run() error {
 	var (
-		system      = flag.String("system", "dapes", "stack to simulate: dapes, bithoc, or ekta")
-		wifiRange   = flag.Float64("range", 60, "WiFi range in meters (paper: 20-100)")
-		files       = flag.Int("files", 10, "files per collection")
-		packets     = flag.Int("packets", 20, "packets per file (paper full scale: 1024)")
-		trials      = flag.Int("trials", 3, "trials (paper: 10)")
-		seed        = flag.Int64("seed", 1, "base random seed")
-		horizon     = flag.Duration("horizon", 45*time.Minute, "per-trial virtual time limit")
+		list     = flag.Bool("list", false, "list registered scenarios and exit")
+		scenario = flag.String("scenario", "", "registered scenario to run (see -list); overrides -system")
+		workers  = flag.Int("workers", 1, "concurrent trials; results are identical at any pool size")
+		format   = flag.String("format", "text", "output format: text, json, or csv")
+		outPath  = flag.String("o", "", "write results to this file instead of stdout")
+
+		wifiRange = flag.Float64("range", 60, "WiFi range in meters (paper: 20-100)")
+		files     = flag.Int("files", 10, "files per collection")
+		packets   = flag.Int("packets", 20, "packets per file (paper full scale: 1024)")
+		trials    = flag.Int("trials", 3, "trials (paper: 10)")
+		seed      = flag.Int64("seed", 1, "base random seed; trial t runs at TrialSeed(seed, t)")
+		horizon   = flag.Duration("horizon", 45*time.Minute, "per-trial virtual time limit")
+
+		system      = flag.String("system", "dapes", "ad-hoc stack when -scenario is unset: dapes, bithoc, or ekta")
 		strategy    = flag.String("strategy", "local", "RPF strategy: local or encounter")
 		randomStart = flag.Bool("random-start", true, "start downloads at a random packet")
 		interleave  = flag.Bool("interleave", true, "interleave bitmap and data exchanges")
@@ -39,65 +50,102 @@ func run() error {
 	)
 	flag.Parse()
 
+	out, f, closeOut, err := experiment.OpenOutput(*outPath, *format)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+
+	if *list {
+		return listScenarios(out, f)
+	}
+
 	s := experiment.ReducedScale()
 	s.NumFiles = *files
 	s.PacketsPerFile = *packets
 	s.Trials = *trials
 	s.BaseSeed = *seed
 	s.Horizon = *horizon
+	s.Workers = *workers
+	runner := experiment.Runner{} // pool size comes from s.Workers
 
-	switch *system {
+	if *scenario != "" {
+		res, err := runner.RunScenario(*scenario, s, *wifiRange)
+		if err != nil {
+			return err
+		}
+		return experiment.EmitRun(out, f, res)
+	}
+
+	// Legacy path: build an ad-hoc scenario from the individual knobs.
+	sc, err := adhocScenario(*system, adhocKnobs{
+		strategy:    *strategy,
+		randomStart: *randomStart,
+		interleave:  *interleave,
+		bitmaps:     *bitmaps,
+		peba:        *peba,
+		multihop:    *multihopOn,
+		forwardProb: *forwardProb,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := runner.Run(sc, s, *wifiRange)
+	if err != nil {
+		return err
+	}
+	return experiment.EmitRun(out, f, res)
+}
+
+type adhocKnobs struct {
+	strategy    string
+	randomStart bool
+	interleave  bool
+	bitmaps     int
+	peba        bool
+	multihop    bool
+	forwardProb float64
+}
+
+func adhocScenario(system string, k adhocKnobs) (*experiment.Scenario, error) {
+	switch system {
 	case "dapes":
 		opts := experiment.DAPESOptions{
 			Strategy:      core.LocalNeighborhoodRPF,
-			RandomStart:   *randomStart,
+			RandomStart:   k.randomStart,
 			AdvertMode:    core.Interleaved,
-			BitmapsBefore: *bitmaps,
-			UsePEBA:       *peba,
-			Multihop:      *multihopOn,
-			ForwardProb:   *forwardProb,
+			BitmapsBefore: k.bitmaps,
+			UsePEBA:       k.peba,
+			Multihop:      k.multihop,
+			ForwardProb:   k.forwardProb,
 		}
-		if *strategy == "encounter" {
+		if k.strategy == "encounter" {
 			opts.Strategy = core.EncounterBasedRPF
 		}
-		if !*interleave {
+		if !k.interleave {
 			opts.AdvertMode = core.BitmapsFirst
 		}
-		for t := 0; t < s.Trials; t++ {
-			tr, err := experiment.RunDAPESTrial(s, *wifiRange, t, opts)
-			if err != nil {
-				return err
-			}
-			printTrial(t, tr)
-		}
+		return &experiment.Scenario{
+			Name: "dapes(custom)",
+			Run: func(s experiment.Scale, wifiRange float64, trial int) (experiment.TrialResult, error) {
+				return experiment.RunDAPESTrial(s, wifiRange, trial, opts)
+			},
+		}, nil
 	case "bithoc":
-		for t := 0; t < s.Trials; t++ {
-			tr, err := experiment.RunBithocTrial(s, *wifiRange, t)
-			if err != nil {
-				return err
-			}
-			printTrial(t, tr)
-		}
+		return &experiment.Scenario{Name: "bithoc", Run: experiment.RunBithocTrial}, nil
 	case "ekta":
-		for t := 0; t < s.Trials; t++ {
-			tr, err := experiment.RunEktaTrial(s, *wifiRange, t)
-			if err != nil {
-				return err
-			}
-			printTrial(t, tr)
-		}
-	default:
-		return fmt.Errorf("unknown system %q", *system)
+		return &experiment.Scenario{Name: "ekta", Run: experiment.RunEktaTrial}, nil
 	}
-	return nil
+	return nil, fmt.Errorf("unknown system %q", system)
 }
 
-func printTrial(t int, tr experiment.TrialResult) {
-	fmt.Printf("trial %d: avg-download=%v transmissions=%d completed=%d/%d",
-		t, tr.AvgDownloadTime.Round(100*time.Millisecond), tr.Transmissions,
-		tr.Completed, tr.Downloaders)
-	if tr.ForwardAccuracy > 0 {
-		fmt.Printf(" forward-accuracy=%.0f%%", 100*tr.ForwardAccuracy)
+func listScenarios(w io.Writer, f experiment.Format) error {
+	t := experiment.Table{
+		Title:  "Registered scenarios (run with -scenario NAME)",
+		Header: []string{"name", "summary"},
 	}
-	fmt.Println()
+	for _, sc := range experiment.Scenarios() {
+		t.Rows = append(t.Rows, []string{sc.Name, sc.Summary})
+	}
+	return experiment.EmitTables(w, f, t)
 }

@@ -1,4 +1,4 @@
-// Disaster relay: the paper's Fig. 8a scenario. Producer A's damage report
+// Command disasterrelay demonstrates the paper's Fig. 8a scenario. Producer A's damage report
 // can only reach residents B and C — who live in network segments far beyond
 // radio range — through data carrier D, who physically shuttles between the
 // segments and replays the collection at each stop. This is DAPES's

@@ -1,4 +1,4 @@
-// Multi-hop: the paper's Fig. 6 topology in miniature. A downloader two
+// Command multihop demonstrates the paper's Fig. 6 topology in miniature. A downloader two
 // radio hops from the producer reaches it through a chain of one pure
 // forwarder (an NDN-only node that has never heard of DAPES) and one
 // DAPES-aware intermediate that forwards or suppresses Interests based on

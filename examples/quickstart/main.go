@@ -1,4 +1,4 @@
-// Quickstart: the paper's Section II-C use-case end to end. A resident
+// Command quickstart runs the paper's Section II-C use-case end to end. A resident
 // photographs a damaged bridge, packages the picture and its location into
 // a signed DAPES collection, and a nearby resident discovers and downloads
 // it over the shared wireless medium — verifying every packet against the

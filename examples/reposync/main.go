@@ -1,4 +1,4 @@
-// Repository sync: the paper's Fig. 8b scenario. A stationary repository
+// Command reposync demonstrates the paper's Fig. 8b scenario. A stationary repository
 // deployed at a rest area collects a producer's collection and keeps serving
 // it after the producer leaves; two residents arriving later retrieve it
 // from the repo simultaneously — and because DAPES data is broadcast, a

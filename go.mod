@@ -1,0 +1,3 @@
+module dapes
+
+go 1.24

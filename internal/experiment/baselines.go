@@ -135,16 +135,12 @@ func RunEktaTrial(s Scale, wifiRange float64, trial int) (TrialResult, error) {
 	}, nil
 }
 
-// runBaseline aggregates trials for one baseline runner.
+// runBaseline aggregates trials for one baseline runner through the worker
+// pool (s.Workers wide).
 func runBaseline(s Scale, wifiRange float64, run func(Scale, float64, int) (TrialResult, error)) (time.Duration, float64, error) {
-	trials := make([]TrialResult, 0, s.Trials)
-	for t := 0; t < s.Trials; t++ {
-		tr, err := run(s, wifiRange, t)
-		if err != nil {
-			return 0, 0, err
-		}
-		trials = append(trials, tr)
+	res, err := Runner{}.Run(&Scenario{Name: "baseline", Run: TrialFunc(run)}, s, wifiRange)
+	if err != nil {
+		return 0, 0, err
 	}
-	dt, tx := aggregate(trials)
-	return dt, tx, nil
+	return res.DownloadTime90, res.Transmissions90, nil
 }

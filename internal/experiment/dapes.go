@@ -152,16 +152,18 @@ func collectDAPES(topo *topology, collection ndn.Name, downloaders, intermediate
 	}
 }
 
-// RunDAPES runs Trials trials and aggregates the paper's statistics.
+// RunDAPES runs Trials trials through the worker pool (s.Workers wide) and
+// aggregates the paper's statistics. Results are identical at any pool size.
 func RunDAPES(s Scale, wifiRange float64, opts DAPESOptions) (time.Duration, float64, []TrialResult, error) {
-	trials := make([]TrialResult, 0, s.Trials)
-	for t := 0; t < s.Trials; t++ {
-		tr, err := RunDAPESTrial(s, wifiRange, t, opts)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		trials = append(trials, tr)
+	sc := &Scenario{
+		Name: "dapes",
+		Run: func(s Scale, wifiRange float64, trial int) (TrialResult, error) {
+			return RunDAPESTrial(s, wifiRange, trial, opts)
+		},
 	}
-	dt, tx := aggregate(trials)
-	return dt, tx, trials, nil
+	res, err := Runner{}.Run(sc, s, wifiRange) // pool size comes from s.Workers
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return res.DownloadTime90, res.Transmissions90, res.Trials, nil
 }

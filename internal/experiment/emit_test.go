@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRun() RunResult {
+	return RunResult{
+		Scenario: "fig7-dapes",
+		Range:    60,
+		Seed:     1,
+		Workers:  2,
+		Trials: []TrialResult{
+			{AvgDownloadTime: 90 * time.Second, Transmissions: 1200, Completed: 24, Downloaders: 24, ForwardAccuracy: 0.8},
+			{AvgDownloadTime: 110 * time.Second, Transmissions: 1500, Completed: 23, Downloaders: 24},
+		},
+		DownloadTime90:  110 * time.Second,
+		Transmissions90: 1500,
+	}
+}
+
+func TestEmitRunJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitRun(&buf, FormatJSON, sampleRun()); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Scenario string  `json:"scenario"`
+		Range    float64 `json:"range_m"`
+		P90      float64 `json:"download_time_p90_sec"`
+		Trials   []struct {
+			Trial         int     `json:"trial"`
+			Download      float64 `json:"avg_download_sec"`
+			Transmissions uint64  `json:"transmissions"`
+		} `json:"trials"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Scenario != "fig7-dapes" || got.Range != 60 || got.P90 != 110 {
+		t.Fatalf("fields lost: %+v", got)
+	}
+	if len(got.Trials) != 2 || got.Trials[1].Trial != 1 || got.Trials[0].Download != 90 {
+		t.Fatalf("trials lost: %+v", got.Trials)
+	}
+}
+
+func TestEmitRunCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitRun(&buf, FormatCSV, sampleRun()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 trials
+		t.Fatalf("rows = %d, want 3", len(recs))
+	}
+	if recs[0][0] != "scenario" || len(recs[1]) != len(runCSVHeader) {
+		t.Fatalf("bad header/row shape: %v", recs)
+	}
+	if recs[2][3] != "1" {
+		t.Fatalf("trial index column = %q, want 1", recs[2][3])
+	}
+}
+
+func TestEmitRunTextIncludesAggregate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EmitRun(&buf, FormatText, sampleRun()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig7-dapes", "trial 0", "trial 1", "p90", "forward-accuracy=80%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitTablesFormats(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Header: []string{"range(m)", "DAPES"},
+		Rows:   [][]string{{"20", "1.5"}, {"60", "0.9"}},
+	}
+	var jbuf bytes.Buffer
+	if err := EmitTables(&jbuf, FormatJSON, tbl, tbl); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		Title string     `json:"title"`
+		Rows  [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(jbuf.Bytes(), &tables); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(tables) != 2 || tables[0].Title != "demo" || len(tables[1].Rows) != 2 {
+		t.Fatalf("tables lost: %+v", tables)
+	}
+
+	var cbuf bytes.Buffer
+	if err := EmitTables(&cbuf, FormatCSV, tbl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cbuf.String()), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "# demo") {
+		t.Fatalf("csv shape: %q", cbuf.String())
+	}
+
+	var tbuf bytes.Buffer
+	if err := EmitTables(&tbuf, FormatText, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbuf.String(), "== demo ==") {
+		t.Fatalf("text table missing title: %q", tbuf.String())
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "json", "csv"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("ParseFormat(%q) = %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("ParseFormat accepted xml")
+	}
+}

@@ -1,8 +1,16 @@
-// Package experiment reproduces the paper's evaluation (Section VI): the
-// Fig. 7 simulation topology, the Fig. 8 real-world scenarios, workload
-// generation, metric collection, and the parameter sweeps behind every
-// figure and table. Each experiment function returns a Table whose rows
-// mirror the series the paper plots.
+// Package experiment reproduces the paper's evaluation (Section VI) and
+// everything the repository runs beyond it. Workloads are named Scenario
+// values in a registry — the Fig. 7 simulation sweeps, the Fig. 8 outdoor
+// feasibility runs, the Bithoc/Ekta baselines, design ablations, and
+// post-paper scenarios (partition healing, convoy churn, urban density) —
+// all executed by a Runner that fans independent trials across a worker
+// pool. Every trial seeds its own sim.Kernel from TrialSeed(BaseSeed,
+// trial), so serial and parallel runs produce byte-identical aggregates.
+//
+// The figure functions (Fig9a..Fig10, TableI) return Tables whose rows
+// mirror the series the paper plots; EmitRun/EmitTables render results as
+// text, JSON, or CSV. docs/EXPERIMENTS.md documents each registered
+// scenario in test-plan form.
 package experiment
 
 import (
@@ -14,7 +22,7 @@ import (
 // Scale selects the workload size. The paper's full scale (10 x 1 MB files,
 // 1 KB packets, ten trials) is reproducible with Full, but the default
 // Reduced scale keeps each figure's regeneration to seconds while preserving
-// every qualitative relationship (see EXPERIMENTS.md).
+// every qualitative relationship (see docs/EXPERIMENTS.md).
 type Scale struct {
 	// Trials per configuration; the paper reports the 90th percentile of
 	// ten trials.
@@ -37,8 +45,16 @@ type Scale struct {
 	Intermediates  int
 	// LossRate is the per-reception loss probability (paper: 10%).
 	LossRate float64
-	// BaseSeed feeds per-trial deterministic seeds.
+	// BaseSeed feeds per-trial deterministic seeds via TrialSeed.
 	BaseSeed int64
+	// Workers bounds how many trials run concurrently wherever a figure or
+	// scenario fans out through Runner (it is the Runner's default pool
+	// size); 0 or 1 is serial. Trials are seeded per index, so the pool
+	// size never changes any metric.
+	Workers int
+	// AreaSide overrides the Fig.-7 simulation area edge in meters; 0 keeps
+	// the paper's 300 m square.
+	AreaSide float64
 }
 
 // ReducedScale is the default: 10 files x 20 packets (200 KB collection),

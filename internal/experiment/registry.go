@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TrialSeed derives the deterministic seed for one trial from the scale's
+// base seed and the trial index. Every trial runner — serial or parallel —
+// must obtain its seed here so that the trial schedule is a pure function of
+// (BaseSeed, trial) and fan-out order cannot perturb results.
+func TrialSeed(base int64, trial int) int64 {
+	return base + int64(trial)*7919
+}
+
+// TrialFunc runs one independent trial of a scenario. Implementations must
+// build their entire world — sim.Kernel, medium, peers — from
+// TrialSeed(s.BaseSeed, trial) and must not share mutable state across
+// calls; the Runner invokes trials concurrently.
+type TrialFunc func(s Scale, wifiRange float64, trial int) (TrialResult, error)
+
+// Param documents one knob of a scenario for listings and EXPERIMENTS.md.
+type Param struct {
+	// Name is the knob (usually a Scale field or CLI flag).
+	Name string
+	// Value is the scenario's default or derivation, as shown to the user.
+	Value string
+	// Doc is a one-line explanation.
+	Doc string
+}
+
+// Scenario is a named, parameterized experiment workload. The registry is
+// how CLIs and harnesses enumerate what the repository can run: paper
+// reproductions (Fig. 7 sweeps, Fig. 8 feasibility runs), baselines,
+// ablations, and workloads beyond the paper all register here and are
+// driven by the same Runner.
+type Scenario struct {
+	// Name is the stable registry key (e.g. "fig7-dapes").
+	Name string
+	// Summary is a one-line description for -list output.
+	Summary string
+	// Optimizes states what the scenario measures or stresses.
+	Optimizes string
+	// Narrative is the longer test-plan style description.
+	Narrative string
+	// Params documents the knobs that shape the workload.
+	Params []Param
+	// Run executes one trial. See TrialFunc for the determinism contract.
+	Run TrialFunc
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]*Scenario
+}{m: make(map[string]*Scenario)}
+
+// Register adds a scenario to the registry. It panics on a duplicate or
+// unusable registration — scenarios register from init, so a panic here is
+// a programming error caught by any test run.
+func Register(sc *Scenario) {
+	if sc == nil || sc.Name == "" || sc.Run == nil {
+		panic("experiment: Register requires a name and a Run function")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[sc.Name]; dup {
+		panic(fmt.Sprintf("experiment: duplicate scenario %q", sc.Name))
+	}
+	registry.m[sc.Name] = sc
+}
+
+// Lookup returns the scenario registered under name.
+func Lookup(name string) (*Scenario, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	sc, ok := registry.m[name]
+	return sc, ok
+}
+
+// Scenarios returns every registered scenario sorted by name, so listings
+// and generated docs are stable across runs.
+func Scenarios() []*Scenario {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]*Scenario, 0, len(registry.m))
+	for _, sc := range registry.m {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runner fans a scenario's independent trials out across a worker pool.
+// Each trial builds its own sim.Kernel from TrialSeed(BaseSeed, trial), so
+// trials never share state and the pool size cannot change any result:
+// a -workers=8 run produces byte-identical aggregates to a serial run.
+type Runner struct {
+	// Workers is the maximum number of concurrent trials. When zero, the
+	// pool size falls back to Scale.Workers (so figure sweeps parallelize
+	// from one knob); values <= 1 after that fallback run serially in the
+	// calling goroutine.
+	Workers int
+}
+
+// RunResult is one scenario execution: the per-trial metrics in trial-index
+// order plus the paper's aggregate statistics over them.
+type RunResult struct {
+	// Scenario is the registry name (empty for ad-hoc runs).
+	Scenario string
+	// Range is the WiFi range the trials ran at, in meters.
+	Range float64
+	// Seed is the base seed the per-trial seeds derive from.
+	Seed int64
+	// Workers is the pool size the run used (informational only; it never
+	// affects the metrics).
+	Workers int
+	// Trials holds per-trial metrics indexed by trial number.
+	Trials []TrialResult
+	// DownloadTime90 and Transmissions90 are the 90th-percentile aggregates
+	// the paper reports.
+	DownloadTime90  time.Duration
+	Transmissions90 float64
+}
+
+// Run executes s.Trials trials of the scenario and aggregates them. Trials
+// are scheduled across the pool but collected by trial index, and every
+// trial seeds from TrialSeed, so a successful RunResult is identical for
+// any worker count. Errors fail fast: no new trials start once one has
+// failed, and the lowest-indexed recorded failure is reported (when several
+// trials fail concurrently, which one is recorded first may vary with
+// scheduling — success output never does).
+func (r Runner) Run(sc *Scenario, s Scale, wifiRange float64) (RunResult, error) {
+	if sc == nil || sc.Run == nil {
+		return RunResult{}, fmt.Errorf("experiment: nil scenario")
+	}
+	n := s.Trials
+	if n <= 0 {
+		return RunResult{}, fmt.Errorf("experiment: scenario %q: Trials must be positive", sc.Name)
+	}
+	workers := r.Workers
+	if workers == 0 {
+		workers = s.Workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	trials := make([]TrialResult, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for t := 0; t < n; t++ {
+			trials[t], errs[t] = sc.Run(s, wifiRange, t)
+			if errs[t] != nil {
+				break
+			}
+		}
+	} else {
+		// Fail fast: once any trial errors, workers stop picking up new
+		// trials (in-flight ones finish).
+		var failed atomic.Bool
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range jobs {
+					if failed.Load() {
+						continue
+					}
+					trials[t], errs[t] = sc.Run(s, wifiRange, t)
+					if errs[t] != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		for t := 0; t < n; t++ {
+			jobs <- t
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for t, err := range errs {
+		if err != nil {
+			return RunResult{}, fmt.Errorf("scenario %q trial %d: %w", sc.Name, t, err)
+		}
+	}
+
+	dt, tx := aggregate(trials)
+	return RunResult{
+		Scenario:        sc.Name,
+		Range:           wifiRange,
+		Seed:            s.BaseSeed,
+		Workers:         workers,
+		Trials:          trials,
+		DownloadTime90:  dt,
+		Transmissions90: tx,
+	}, nil
+}
+
+// RunScenario looks a scenario up by name and runs it.
+func (r Runner) RunScenario(name string, s Scale, wifiRange float64) (RunResult, error) {
+	sc, ok := Lookup(name)
+	if !ok {
+		return RunResult{}, fmt.Errorf("experiment: unknown scenario %q (run -list to enumerate)", name)
+	}
+	return r.Run(sc, s, wifiRange)
+}

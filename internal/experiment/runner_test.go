@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunnerParallelMatchesSerial is the registry's core guarantee: the same
+// base seed must yield byte-identical aggregates whether trials run in one
+// goroutine or fan out across eight workers.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	s := tinyScale()
+	s.Trials = 4
+	sc, ok := Lookup("fig7-dapes")
+	if !ok {
+		t.Fatal("fig7-dapes not registered")
+	}
+	serial, err := Runner{Workers: 1}.Run(sc, s, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Workers: 8}.Run(sc, s, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Trials, parallel.Trials) {
+		t.Fatalf("per-trial results diverged:\nserial:   %+v\nparallel: %+v",
+			serial.Trials, parallel.Trials)
+	}
+	if serial.DownloadTime90 != parallel.DownloadTime90 ||
+		serial.Transmissions90 != parallel.Transmissions90 {
+		t.Fatalf("aggregates diverged: %v/%v vs %v/%v",
+			serial.DownloadTime90, serial.Transmissions90,
+			parallel.DownloadTime90, parallel.Transmissions90)
+	}
+	if parallel.Workers != 4 { // clamped to trial count
+		t.Fatalf("workers = %d, want clamp to 4", parallel.Workers)
+	}
+}
+
+func TestRunnerPropagatesTrialError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	sc := &Scenario{
+		Name: "failing",
+		Run: func(s Scale, _ float64, trial int) (TrialResult, error) {
+			ran.Add(1)
+			if trial >= 2 {
+				return TrialResult{}, boom
+			}
+			return TrialResult{Downloaders: 1}, nil
+		},
+	}
+	s := tinyScale()
+	s.Trials = 6
+	_, err := Runner{Workers: 4}.Run(sc, s, 80)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "trial ") || !strings.Contains(err.Error(), `"failing"`) {
+		t.Fatalf("err = %v, want scenario name and failing trial index", err)
+	}
+
+	// Serial runs fail fast deterministically: trials 0, 1 succeed, trial 2
+	// fails, trials 3-5 never start.
+	ran.Store(0)
+	_, err = Runner{Workers: 1}.Run(sc, s, 80)
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "trial 2") {
+		t.Fatalf("serial err = %v, want failure at trial 2", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("serial run executed %d trials after a failure at trial 2, want 3 (fail fast)", got)
+	}
+}
+
+func TestRunnerRejectsBadInput(t *testing.T) {
+	if _, err := (Runner{}).Run(nil, tinyScale(), 80); err == nil {
+		t.Fatal("nil scenario accepted")
+	}
+	s := tinyScale()
+	s.Trials = 0
+	sc, _ := Lookup("fig7-dapes")
+	if _, err := (Runner{}).Run(sc, s, 80); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := (Runner{}).RunScenario("no-such-scenario", tinyScale(), 80); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+}
+
+func TestTrialSeedDistinctAndStable(t *testing.T) {
+	seen := map[int64]bool{}
+	for trial := 0; trial < 100; trial++ {
+		s := TrialSeed(42, trial)
+		if seen[s] {
+			t.Fatalf("duplicate seed %d at trial %d", s, trial)
+		}
+		seen[s] = true
+		if s != TrialSeed(42, trial) {
+			t.Fatal("TrialSeed not stable")
+		}
+	}
+	if TrialSeed(1, 0) != 1 {
+		t.Fatalf("trial 0 must use the base seed, got %d", TrialSeed(1, 0))
+	}
+}
+
+// TestRunDAPESWorkersDeterministic drives the same figure path the CLIs use
+// (RunDAPES reads Scale.Workers) and checks parallelism changes nothing.
+func TestRunDAPESWorkersDeterministic(t *testing.T) {
+	s := tinyScale()
+	s.Trials = 3
+	dt1, tx1, trials1, err := RunDAPES(s, 80, PaperDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 8
+	dt8, tx8, trials8, err := RunDAPES(s, 80, PaperDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt1 != dt8 || tx1 != tx8 || !reflect.DeepEqual(trials1, trials8) {
+		t.Fatalf("RunDAPES diverged across worker counts: %v/%v vs %v/%v", dt1, tx1, dt8, tx8)
+	}
+}

@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"math"
+	"time"
+
+	"dapes/internal/core"
+	"dapes/internal/geo"
+	"dapes/internal/ndn"
+	"dapes/internal/phy"
+	"dapes/internal/sim"
+)
+
+// This file holds registry scenarios beyond the paper's own evaluation:
+// workloads the Fig. 7 topology never exercised (partition healing, convoy
+// mobility with churn, dense urban node counts). Each trial builds its own
+// kernel from TrialSeed, so the Runner may execute them concurrently.
+
+// trialWorld is the common preamble of the custom scenarios: a seeded
+// kernel, a medium at the requested range, the paper-default peer config,
+// and the image-file collection. The scenario places its own producer.
+type trialWorld struct {
+	kernel *sim.Kernel
+	medium *phy.Medium
+	cfg    core.Config
+	coll   ndn.Name
+}
+
+func newTrialWorld(s Scale, wifiRange float64, trial int, producerMobility geo.Mobility) (*trialWorld, *core.Peer, error) {
+	seed := TrialSeed(s.BaseSeed, trial)
+	k := sim.NewKernel(seed)
+	w := &trialWorld{
+		kernel: k,
+		medium: phy.NewMedium(k, phy.Config{Range: wifiRange, LossRate: s.LossRate}),
+		cfg:    PaperDefaults().coreConfig(),
+	}
+	res, err := buildCollection(s, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.coll = res.Manifest.Collection
+	producer := core.NewPeer(k, w.medium, producerMobility, nil, nil, w.cfg)
+	if err := producer.Publish(res); err != nil {
+		return nil, nil, err
+	}
+	return w, producer, nil
+}
+
+// runWorldAndCollect drives the kernel until every downloader completes (or
+// the horizon passes) and folds the world into a TrialResult.
+func runWorldAndCollect(k *sim.Kernel, medium *phy.Medium, coll ndn.Name, downloaders []*core.Peer, horizon time.Duration) TrialResult {
+	k.RunUntil(horizon, func() bool {
+		for _, p := range downloaders {
+			if done, _ := p.Done(coll); !done {
+				return false
+			}
+		}
+		return true
+	})
+
+	var total time.Duration
+	completed, memory := 0, 0
+	var fwd, answered uint64
+	for _, p := range downloaders {
+		done, at := p.Done(coll)
+		if done {
+			completed++
+		}
+		total += censor(done, at, horizon)
+		memory += p.MemoryFootprint()
+		fwd += p.Stats().InterestsForwarded
+		answered += p.Stats().ForwardedAnswered
+	}
+	acc := 0.0
+	if fwd > 0 {
+		acc = float64(answered) / float64(fwd)
+	}
+	return TrialResult{
+		AvgDownloadTime: total / time.Duration(len(downloaders)),
+		Transmissions:   medium.Stats().Transmissions,
+		Completed:       completed,
+		Downloaders:     len(downloaders),
+		ForwardAccuracy: acc,
+		MemoryBytes:     memory,
+	}
+}
+
+// clusterSize derives the per-cluster peer count from the scale's node mix.
+func clusterSize(s Scale) int {
+	n := (s.Stationary + s.MobileDown) / 4
+	if n < 3 {
+		n = 3
+	}
+	return n
+}
+
+// ringPositions places n peers evenly on a circle that keeps every member
+// within radio range of the cluster center.
+func ringPositions(center geo.Point, radius float64, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = geo.Point{X: center.X + radius*math.Cos(a), Y: center.Y + radius*math.Sin(a)}
+	}
+	return pts
+}
+
+// partitionedMergeTrial runs two clusters that start far beyond radio reach
+// — the producer's cluster A and a disconnected cluster B — and merge when
+// cluster B relocates a third of the way into the horizon. Cluster A peers
+// finish early; cluster B peers can only complete after the merge, so the
+// scenario stresses advertisement exchange and RPF restart on a healed
+// partition.
+func partitionedMergeTrial(s Scale, wifiRange float64, trial int) (TrialResult, error) {
+	n := clusterSize(s)
+	radius := wifiRange * 0.35
+	centerA := geo.Point{X: 2 * wifiRange, Y: 2 * wifiRange}
+	centerB := geo.Point{X: centerA.X + 10*wifiRange, Y: centerA.Y}
+	merge := s.Horizon / 3
+	walk := 2 * time.Minute
+
+	w, producer, err := newTrialWorld(s, wifiRange, trial, geo.Stationary{At: centerA})
+	if err != nil {
+		return TrialResult{}, err
+	}
+
+	var downloaders []*core.Peer
+	for _, pos := range ringPositions(centerA, radius, n) {
+		downloaders = append(downloaders, core.NewPeer(w.kernel, w.medium, geo.Stationary{At: pos}, nil, nil, w.cfg))
+	}
+	dest := ringPositions(geo.Point{X: centerA.X, Y: centerA.Y + 2.2*radius}, radius, n)
+	for i, pos := range ringPositions(centerB, radius, n) {
+		m := geo.NewScripted([]geo.Waypoint{
+			{At: 0, Pos: pos},
+			{At: merge, Pos: pos},
+			{At: merge + walk, Pos: dest[i]},
+		})
+		downloaders = append(downloaders, core.NewPeer(w.kernel, w.medium, m, nil, nil, w.cfg))
+	}
+
+	producer.Start()
+	for _, p := range downloaders {
+		p.Subscribe(w.coll)
+		p.Start()
+	}
+	return runWorldAndCollect(w.kernel, w.medium, w.coll, downloaders, s.Horizon), nil
+}
+
+// convoyChurnTrial runs a producer-led convoy down a 1.5 km road with peer
+// churn: every third rider drops out mid-route (pulls off beyond radio
+// reach) and every third joins late from a side street, so membership is
+// never stable. The convoy itself stays a connected multi-hop chain, which
+// exercises forwarding under continuous topology change.
+func convoyChurnTrial(s Scale, wifiRange float64, trial int) (TrialResult, error) {
+	const (
+		roadLen = 1500.0
+		speed   = 5.0 // m/s
+	)
+	tEnd := time.Duration(roadLen/speed) * time.Second
+	// Spacing covers a two-slot gap (0.9x range): when a dropout leaves a
+	// hole in the column, the riders around it stay in radio contact, so a
+	// single departure degrades the chain without severing the tail.
+	// Dropouts are every third rider and never adjacent.
+	spacing := wifiRange * 0.45
+	if spacing > 25 {
+		spacing = 25
+	}
+	n := clusterSize(s) + 1
+
+	// The producer leads the convoy from the front of the column.
+	lead := geo.NewScripted([]geo.Waypoint{
+		{At: 0, Pos: geo.Point{X: 0, Y: 0}},
+		{At: tEnd, Pos: geo.Point{X: roadLen, Y: 0}},
+	})
+	w, producer, err := newTrialWorld(s, wifiRange, trial, lead)
+	if err != nil {
+		return TrialResult{}, err
+	}
+
+	var downloaders []*core.Peer
+	for i := 0; i < n; i++ {
+		x0 := -spacing * float64(i+1)
+		// slot is rider i's convoy position at a given time; the convoy
+		// parks at the road end, so positions clamp at tEnd.
+		slot := func(at time.Duration) geo.Point {
+			if at > tEnd {
+				at = tEnd
+			}
+			return geo.Point{X: x0 + speed*at.Seconds(), Y: 0}
+		}
+		// Churn is timed off the ride itself (tEnd), not the horizon, so
+		// dropouts and joins genuinely happen mid-route.
+		var m geo.Mobility
+		switch i % 3 {
+		case 1: // dropout: pulls 800 m off-road a quarter into the ride
+			drop := tEnd/4 + time.Duration(i)*20*time.Second
+			m = geo.NewScripted([]geo.Waypoint{
+				{At: 0, Pos: slot(0)},
+				{At: drop, Pos: slot(drop)},
+				{At: drop + time.Minute, Pos: geo.Point{X: slot(drop).X, Y: 800}},
+			})
+		case 2: // joiner: waits on a side street, merges into the convoy late
+			join := tEnd/6 + time.Duration(i)*15*time.Second
+			mergeAt := join + 2*time.Minute
+			side := geo.Point{X: slot(join).X, Y: 600}
+			wps := []geo.Waypoint{{At: 0, Pos: side}, {At: join, Pos: side},
+				{At: mergeAt, Pos: slot(mergeAt)}}
+			if mergeAt < tEnd {
+				wps = append(wps, geo.Waypoint{At: tEnd, Pos: slot(tEnd)})
+			}
+			m = geo.NewScripted(wps)
+		default: // steady rider
+			m = geo.NewScripted([]geo.Waypoint{
+				{At: 0, Pos: slot(0)},
+				{At: tEnd, Pos: slot(tEnd)},
+			})
+		}
+		downloaders = append(downloaders, core.NewPeer(w.kernel, w.medium, m, nil, nil, w.cfg))
+	}
+
+	producer.Start()
+	for _, p := range downloaders {
+		p.Subscribe(w.coll)
+		p.Start()
+	}
+	return runWorldAndCollect(w.kernel, w.medium, w.coll, downloaders, s.Horizon), nil
+}
+
+// urbanGridTrial reruns the Fig.-7 DAPES workload at metropolitan density:
+// five times the mobile downloaders, pure forwarders, and intermediates in
+// a 1.5x-edge area (~2.2x the paper's node density). It is the scaling
+// smoke test every performance PR should move.
+func urbanGridTrial(s Scale, wifiRange float64, trial int) (TrialResult, error) {
+	dense := s
+	dense.MobileDown = s.MobileDown * 5
+	dense.PureForwarders = s.PureForwarders * 5
+	dense.Intermediates = s.Intermediates * 5
+	if dense.AreaSide <= 0 {
+		dense.AreaSide = areaSide * 1.5
+	}
+	return RunDAPESTrial(dense, wifiRange, trial, PaperDefaults())
+}

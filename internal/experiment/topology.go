@@ -13,7 +13,8 @@ import (
 	"dapes/internal/sim"
 )
 
-// areaSide is the Fig. 7 simulation area edge in meters.
+// areaSide is the default Fig. 7 simulation area edge in meters; Scale.AreaSide
+// overrides it for denser or sparser workloads.
 const areaSide = 300.0
 
 // topology is one instantiated Fig.-7 world: kernel, medium, and mobility
@@ -36,13 +37,17 @@ type topology struct {
 
 // buildTopology creates the world for one trial.
 func buildTopology(s Scale, wifiRange float64, trial int) *topology {
-	seed := s.BaseSeed + int64(trial)*7919
+	seed := TrialSeed(s.BaseSeed, trial)
 	kernel := sim.NewKernel(seed)
 	medium := phy.NewMedium(kernel, phy.Config{
 		Range:    wifiRange,
 		LossRate: s.LossRate,
 	})
-	area := geo.Rect{Width: areaSide, Height: areaSide}
+	side := s.AreaSide
+	if side <= 0 {
+		side = areaSide
+	}
+	area := geo.Rect{Width: side, Height: side}
 	// Placement RNG is separate from the kernel stream so event timing does
 	// not perturb positions across configurations.
 	prng := rand.New(rand.NewSource(seed * 31))
@@ -50,7 +55,7 @@ func buildTopology(s Scale, wifiRange float64, trial int) *topology {
 	walk := func() geo.Mobility {
 		return geo.NewRandomDirection(geo.RandomDirectionConfig{
 			Area:  area,
-			Start: geo.Point{X: prng.Float64() * areaSide, Y: prng.Float64() * areaSide},
+			Start: geo.Point{X: prng.Float64() * side, Y: prng.Float64() * side},
 			RNG:   rand.New(rand.NewSource(prng.Int63())),
 		})
 	}
@@ -59,7 +64,8 @@ func buildTopology(s Scale, wifiRange float64, trial int) *topology {
 	t.producerMobility = walk()
 	// Repositories sit at the quadrant centers, as in the Fig. 7 snapshot.
 	t.stationaryPos = []geo.Point{
-		{X: 75, Y: 75}, {X: 225, Y: 75}, {X: 75, Y: 225}, {X: 225, Y: 225},
+		{X: side / 4, Y: side / 4}, {X: 3 * side / 4, Y: side / 4},
+		{X: side / 4, Y: 3 * side / 4}, {X: 3 * side / 4, Y: 3 * side / 4},
 	}
 	if s.Stationary < len(t.stationaryPos) {
 		t.stationaryPos = t.stationaryPos[:s.Stationary]
