@@ -264,3 +264,31 @@ func BenchmarkScenarioUrbanGrid(b *testing.B) {
 		b.ReportMetric(res.DownloadTime90.Seconds(), "s_download_p90")
 	}
 }
+
+// BenchmarkScenarioUrbanGridXL runs the 25x metropolitan scenario at a
+// reduced base mix (~80 nodes after multiplication). The workload this
+// exercises — many radios, few true neighbors per broadcast — is where the
+// phy spatial-grid index pays off: at the phy level the grid broadcasts
+// ~13x faster than the naive scan at N=1000 (BenchmarkBroadcastDense in
+// internal/phy; measured numbers in docs/PERFORMANCE.md).
+func BenchmarkScenarioUrbanGridXL(b *testing.B) {
+	s := benchScale()
+	s.Trials = 1
+	s.NumFiles = 2
+	s.PacketsPerFile = 5
+	s.MobileDown = 1
+	s.PureForwarders = 1
+	s.Intermediates = 1
+	s.Horizon = 10 * time.Minute
+	sc, ok := experiment.Lookup("urban-grid-xl")
+	if !ok {
+		b.Fatal("urban-grid-xl not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Runner{}.Run(sc, s, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DownloadTime90.Seconds(), "s_download_p90")
+	}
+}

@@ -309,8 +309,9 @@ func (p *Peer) selectPiece() (piece, holder int) {
 				rarity++
 				continue
 			}
-			// Prefer the closest holder.
-			if info.hops < holderHops {
+			// Prefer the closest holder; ties break toward the lower peer
+			// ID so the choice never depends on map iteration order.
+			if info.hops < holderHops || (info.hops == holderHops && id < holderID) {
 				holderID, holderHops = id, info.hops
 			}
 		}

@@ -10,6 +10,7 @@ import (
 )
 
 func TestSeederToLeecher(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(81)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 
@@ -45,6 +46,7 @@ func TestSeederToLeecher(t *testing.T) {
 }
 
 func TestHelloFloodReachesTwoHops(t *testing.T) {
+	t.Parallel()
 	// a - b - c chain: c must learn a's bitmap through b's relay (TTL 2).
 	k := sim.NewKernel(82)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
@@ -71,6 +73,7 @@ func TestHelloFloodReachesTwoHops(t *testing.T) {
 }
 
 func TestTwoLeechersCostTwiceTheUnicasts(t *testing.T) {
+	t.Parallel()
 	// The paper's core claim about IP baselines: each receiver needs its own
 	// unicast transmission even for identical data.
 	k := sim.NewKernel(83)
@@ -102,6 +105,7 @@ func TestTwoLeechersCostTwiceTheUnicasts(t *testing.T) {
 }
 
 func TestLeecherStallsWithoutSeeder(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(84)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	leech := NewPeer(k, medium, geo.Stationary{}, Config{})
@@ -117,6 +121,7 @@ func TestLeecherStallsWithoutSeeder(t *testing.T) {
 }
 
 func TestStopSilences(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(85)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	p := NewPeer(k, medium, geo.Stationary{}, Config{})

@@ -6,6 +6,7 @@ import (
 )
 
 func TestSetTestClearCount(t *testing.T) {
+	t.Parallel()
 	b := New(130) // crosses word boundaries
 	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
 	for _, i := range idx {
@@ -26,6 +27,7 @@ func TestSetTestClearCount(t *testing.T) {
 }
 
 func TestOutOfRangeIgnored(t *testing.T) {
+	t.Parallel()
 	b := New(10)
 	b.Set(-1)
 	b.Set(10)
@@ -39,6 +41,7 @@ func TestOutOfRangeIgnored(t *testing.T) {
 }
 
 func TestSetAllFullAndMissing(t *testing.T) {
+	t.Parallel()
 	b := New(70)
 	if b.Full() {
 		t.Fatal("empty bitmap reported Full")
@@ -63,6 +66,7 @@ func TestSetAllFullAndMissing(t *testing.T) {
 }
 
 func TestZeroLengthBitmap(t *testing.T) {
+	t.Parallel()
 	b := New(0)
 	b.SetAll()
 	if b.Count() != 0 || !b.Full() {
@@ -78,6 +82,7 @@ func TestZeroLengthBitmap(t *testing.T) {
 }
 
 func TestOrAndNotMissingFrom(t *testing.T) {
+	t.Parallel()
 	a := New(10)
 	b := New(10)
 	a.Set(1)
@@ -120,6 +125,7 @@ func TestOrAndNotMissingFrom(t *testing.T) {
 }
 
 func TestCloneIndependent(t *testing.T) {
+	t.Parallel()
 	a := New(8)
 	a.Set(1)
 	c := a.Clone()
@@ -136,6 +142,7 @@ func TestCloneIndependent(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	b := New(100)
 	for _, i := range []int{0, 7, 8, 9, 50, 99} {
 		b.Set(i)
@@ -150,6 +157,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Decode(nil); err == nil {
 		t.Fatal("nil decoded")
 	}
@@ -163,6 +171,7 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestEncodeDecodeProperty(t *testing.T) {
+	t.Parallel()
 	f := func(setBits []uint16, size uint16) bool {
 		n := int(size%2000) + 1
 		b := New(n)
@@ -178,6 +187,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 }
 
 func TestMissingFromIdentityProperty(t *testing.T) {
+	t.Parallel()
 	// a.MissingFrom(a) == 0 and a.MissingFrom(zero) == a.Count().
 	f := func(setBits []uint16) bool {
 		b := New(512)
@@ -194,6 +204,7 @@ func TestMissingFromIdentityProperty(t *testing.T) {
 }
 
 func TestRarity(t *testing.T) {
+	t.Parallel()
 	r := NewRarity(4)
 	// Three peers: packet 0 held by all, packet 3 held by none.
 	mk := func(bits ...int) *Bitmap {

@@ -44,6 +44,7 @@ func testCollection(t *testing.T, nFiles, pktsPerFile int, format metadata.Forma
 }
 
 func TestTwoPeerTransfer(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(1, 100)
 	res := testCollection(t, 2, 10, metadata.FormatPacketDigest)
 
@@ -82,6 +83,7 @@ func TestTwoPeerTransfer(t *testing.T) {
 }
 
 func TestTwoPeerTransferMerkleFormat(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(2, 100)
 	res := testCollection(t, 2, 8, metadata.FormatMerkle)
 
@@ -105,6 +107,7 @@ func TestTwoPeerTransferMerkleFormat(t *testing.T) {
 }
 
 func TestTransferWithLoss(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(3)
 	medium := phy.NewMedium(k, phy.Config{Range: 100, LossRate: 0.10})
 	res := testCollection(t, 1, 20, metadata.FormatPacketDigest)
@@ -129,6 +132,7 @@ func TestTransferWithLoss(t *testing.T) {
 }
 
 func TestThreePeersShareSingleTransmissions(t *testing.T) {
+	t.Parallel()
 	// Two downloaders in range of the producer and of each other: overheard
 	// data must serve both (the paper's "maximize utility of transmissions").
 	net := newTestNet(4, 100)
@@ -168,6 +172,7 @@ func TestThreePeersShareSingleTransmissions(t *testing.T) {
 }
 
 func TestPeerRelaysBetweenEncounters(t *testing.T) {
+	t.Parallel()
 	// Data-carrier scenario (Fig. 8a): B meets the producer first, then
 	// carries the collection to C who is never in the producer's range.
 	k := sim.NewKernel(5)
@@ -205,6 +210,7 @@ func TestPeerRelaysBetweenEncounters(t *testing.T) {
 }
 
 func TestAdaptiveBeaconPeriodGrowsInIsolation(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(6, 50)
 	lonely := net.peer(geo.Point{}, Config{})
 	lonely.Start()
@@ -219,6 +225,7 @@ func TestAdaptiveBeaconPeriodGrowsInIsolation(t *testing.T) {
 }
 
 func TestAdaptiveBeaconPeriodShrinksOnEncounter(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(7, 100)
 	a := net.peer(geo.Point{X: 0}, Config{})
 	b := net.peer(geo.Point{X: 10}, Config{})
@@ -234,6 +241,7 @@ func TestAdaptiveBeaconPeriodShrinksOnEncounter(t *testing.T) {
 }
 
 func TestNeighborExpiry(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(8)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	a := NewPeer(k, medium, geo.Stationary{}, nil, nil, Config{})
@@ -256,6 +264,7 @@ func TestNeighborExpiry(t *testing.T) {
 }
 
 func TestBitmapsFirstModeCompletes(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(9, 100)
 	res := testCollection(t, 1, 10, metadata.FormatPacketDigest)
 	producer := net.peer(geo.Point{}, Config{AdvertMode: BitmapsFirst, BitmapsBefore: 1})
@@ -276,6 +285,7 @@ func TestBitmapsFirstModeCompletes(t *testing.T) {
 }
 
 func TestAllBitmapsModeCompletes(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(10, 100)
 	res := testCollection(t, 1, 8, metadata.FormatPacketDigest)
 	cfg := Config{AdvertMode: BitmapsFirst, BitmapsBefore: 0}
@@ -297,6 +307,7 @@ func TestAllBitmapsModeCompletes(t *testing.T) {
 }
 
 func TestEncounterBasedStrategyCompletes(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(11, 100)
 	res := testCollection(t, 1, 10, metadata.FormatPacketDigest)
 	cfg := Config{Strategy: EncounterBasedRPF, RandomStart: true}
@@ -318,6 +329,7 @@ func TestEncounterBasedStrategyCompletes(t *testing.T) {
 }
 
 func TestStatsAccounting(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(12, 100)
 	res := testCollection(t, 1, 5, metadata.FormatPacketDigest)
 	producer := net.peer(geo.Point{}, Config{})
@@ -358,6 +370,7 @@ func TestStatsAccounting(t *testing.T) {
 }
 
 func TestStopHaltsTraffic(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(13, 100)
 	a := net.peer(geo.Point{}, Config{})
 	a.Start()
@@ -374,6 +387,7 @@ func TestStopHaltsTraffic(t *testing.T) {
 }
 
 func TestPublishTwiceDistinctCollections(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(14, 100)
 	p := net.peer(geo.Point{}, Config{})
 	res1 := testCollection(t, 1, 3, metadata.FormatPacketDigest)
@@ -400,6 +414,7 @@ func TestPublishTwiceDistinctCollections(t *testing.T) {
 }
 
 func TestUnknownCollectionQueries(t *testing.T) {
+	t.Parallel()
 	net := newTestNet(15, 100)
 	p := net.peer(geo.Point{}, Config{})
 	if done, _ := p.Done(ndn.ParseName("/nope")); done {

@@ -10,6 +10,7 @@ import (
 )
 
 func TestDiscoveryInterestRecognition(t *testing.T) {
+	t.Parallel()
 	in := &ndn.Interest{
 		Name:        discoveryInterestName(),
 		CanBePrefix: true,
@@ -31,6 +32,7 @@ func TestDiscoveryInterestRecognition(t *testing.T) {
 }
 
 func TestDiscoveryReplyNames(t *testing.T) {
+	t.Parallel()
 	name := discoveryReplyName(7, 3)
 	id, ok := isDiscoveryReply(name)
 	if !ok || id != 7 {
@@ -49,6 +51,7 @@ func TestDiscoveryReplyNames(t *testing.T) {
 }
 
 func TestDiscoveryPayloadRoundTrip(t *testing.T) {
+	t.Parallel()
 	p := discoveryPayload{MetadataNames: []ndn.Name{
 		ndn.ParseName("/coll-a/metadata-file/12ab34cd"),
 		ndn.ParseName("/coll-b/metadata-file/99ff00aa"),
@@ -70,11 +73,12 @@ func TestDiscoveryPayloadRoundTrip(t *testing.T) {
 }
 
 func TestDiscoveryPayloadDecodeErrors(t *testing.T) {
+	t.Parallel()
 	cases := [][]byte{
 		nil,
 		{0},
-		{0, 2, 0, 5, 'a'},          // claims 2 entries, truncated
-		{0, 1, 0, 50, 'x', 'y'},    // length exceeds buffer
+		{0, 2, 0, 5, 'a'},       // claims 2 entries, truncated
+		{0, 1, 0, 50, 'x', 'y'}, // length exceeds buffer
 	}
 	for i, buf := range cases {
 		if _, err := decodeDiscoveryPayload(buf); err == nil {
@@ -84,6 +88,7 @@ func TestDiscoveryPayloadDecodeErrors(t *testing.T) {
 }
 
 func TestBitmapPayloadRoundTrip(t *testing.T) {
+	t.Parallel()
 	bm := bitmap.New(100)
 	bm.Set(1)
 	bm.Set(99)
@@ -102,6 +107,7 @@ func TestBitmapPayloadRoundTrip(t *testing.T) {
 }
 
 func TestBitmapPayloadDecodeErrors(t *testing.T) {
+	t.Parallel()
 	cases := [][]byte{nil, {0}, {0, 5, 'a', 'b'}, {0, 1, 'x', 0, 0, 0, 1}}
 	for i, buf := range cases {
 		if _, err := decodeBitmapPayload(buf); err == nil {
@@ -111,6 +117,7 @@ func TestBitmapPayloadDecodeErrors(t *testing.T) {
 }
 
 func TestBitmapNamesRecognition(t *testing.T) {
+	t.Parallel()
 	coll := ndn.ParseName("/coll-x")
 	in := bitmapInterestName(coll)
 	if !isBitmapInterest(in) {
@@ -137,6 +144,7 @@ func TestBitmapNamesRecognition(t *testing.T) {
 }
 
 func TestCollectionKeyStability(t *testing.T) {
+	t.Parallel()
 	a := collectionKey(ndn.ParseName("/coll-a"))
 	b := collectionKey(ndn.ParseName("/coll-b"))
 	if a == b {
@@ -152,6 +160,7 @@ func TestCollectionKeyStability(t *testing.T) {
 }
 
 func TestBitmapPayloadRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	f := func(owner uint16, setBits []uint16) bool {
 		bm := bitmap.New(256)
 		for _, b := range setBits {

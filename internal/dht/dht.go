@@ -11,6 +11,7 @@ package dht
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"dapes/internal/sim"
@@ -153,12 +154,14 @@ func (n *Node) Key() Key { return n.key }
 // ViewSize returns the number of known overlay nodes.
 func (n *Node) ViewSize() int { return len(n.view) }
 
-// Contacts returns the known overlay node IDs.
+// Contacts returns the known overlay node IDs in ascending order, so
+// callers iterating them behave identically run to run.
 func (n *Node) Contacts() []int {
 	out := make([]int, 0, len(n.view))
 	for id := range n.view {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -175,9 +178,12 @@ func (n *Node) AddContact(nodeID int) {
 // Pastry-leaf-set style.
 func (n *Node) trimView() {
 	for len(n.view) > n.cfg.ViewSize {
+		// Ties on distance break toward the higher node ID: map iteration
+		// order is randomized per run and must never pick the eviction.
 		worstID, worstDist := -1, uint32(0)
 		for id, key := range n.view {
-			if d := distance(key, n.key); worstID == -1 || d > worstDist {
+			d := distance(key, n.key)
+			if worstID == -1 || d > worstDist || (d == worstDist && id > worstID) {
 				worstID, worstDist = id, d
 			}
 		}
@@ -185,11 +191,13 @@ func (n *Node) trimView() {
 	}
 }
 
-// closest returns the known node (possibly self) nearest to key.
+// closest returns the known node (possibly self) nearest to key, breaking
+// distance ties toward the lower node ID so the route choice is
+// deterministic regardless of map iteration order.
 func (n *Node) closest(key Key) (nodeID int, dist uint32) {
 	nodeID, dist = n.id, distance(n.key, key)
 	for id, nk := range n.view {
-		if d := distance(nk, key); d < dist {
+		if d := distance(nk, key); d < dist || (d == dist && id < nodeID) {
 			nodeID, dist = id, d
 		}
 	}
@@ -277,7 +285,16 @@ func (n *Node) answer(lookupID uint32, origin int, key Key) {
 // medium cannot erase a mapping.
 func (n *Node) migrate() {
 	now := n.k.Now()
-	for key, value := range n.data {
+	// Offers go out in sorted key order: each Send schedules medium events,
+	// so map-order iteration here would make the on-air transmission order
+	// — and therefore collisions and the whole trace — vary run to run.
+	keys := make([]Key, 0, len(n.data))
+	for key := range n.data {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		value := n.data[key]
 		target, dist := n.closest(key)
 		if target == n.id || dist >= distance(n.key, key) {
 			continue
@@ -317,9 +334,10 @@ func (n *Node) Receive(src int, payload []byte) bool {
 		}
 		joiner := int(binary.BigEndian.Uint32(payload[1:5]))
 		n.AddContact(joiner)
-		// Share our view so the joiner learns the overlay.
+		// Share our view so the joiner learns the overlay (sorted so the
+		// wire bytes are stable run to run).
 		msg := []byte{msgNodes}
-		for id := range n.view {
+		for _, id := range n.Contacts() {
 			msg = binary.BigEndian.AppendUint32(msg, uint32(id))
 		}
 		n.Messages++

@@ -55,6 +55,7 @@ func buildOverlay(t *testing.T, k *sim.Kernel, n int) (*loopback, []*Node) {
 }
 
 func TestKeyDeterminism(t *testing.T) {
+	t.Parallel()
 	if KeyOf([]byte("x")) != KeyOf([]byte("x")) {
 		t.Fatal("KeyOf nondeterministic")
 	}
@@ -64,6 +65,7 @@ func TestKeyDeterminism(t *testing.T) {
 }
 
 func TestDistanceSymmetricCircular(t *testing.T) {
+	t.Parallel()
 	if distance(5, 10) != distance(10, 5) {
 		t.Fatal("distance not symmetric")
 	}
@@ -76,6 +78,7 @@ func TestDistanceSymmetricCircular(t *testing.T) {
 }
 
 func TestStoreAndLookup(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(71)
 	_, nodes := buildOverlay(t, k, 12)
 
@@ -103,6 +106,7 @@ func TestStoreAndLookup(t *testing.T) {
 }
 
 func TestLookupMissingKeyReportsFailure(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(72)
 	_, nodes := buildOverlay(t, k, 8)
 	var done, ok bool
@@ -119,6 +123,7 @@ func TestLookupMissingKeyReportsFailure(t *testing.T) {
 }
 
 func TestLocalStoreAndLookupShortCircuit(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(73)
 	lb := &loopback{k: k, nodes: make(map[int]*Node)}
 	n := NewNode(k, 5, lb.transportFor(5), Config{})
@@ -141,6 +146,7 @@ func TestLocalStoreAndLookupShortCircuit(t *testing.T) {
 }
 
 func TestViewBounded(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(74)
 	lb := &loopback{k: k, nodes: make(map[int]*Node)}
 	n := NewNode(k, 0, lb.transportFor(0), Config{ViewSize: 4})
@@ -158,6 +164,7 @@ func TestViewBounded(t *testing.T) {
 }
 
 func TestManyKeysDistributeAcrossNodes(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(75)
 	_, nodes := buildOverlay(t, k, 16)
 	for i := 0; i < 64; i++ {
@@ -176,6 +183,7 @@ func TestManyKeysDistributeAcrossNodes(t *testing.T) {
 }
 
 func TestLookupCostsMessages(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(76)
 	lb, nodes := buildOverlay(t, k, 12)
 	before := lb.sent
@@ -196,6 +204,7 @@ func TestLookupCostsMessages(t *testing.T) {
 }
 
 func TestReceiveRejectsNonDHTPayloads(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(77)
 	lb := &loopback{k: k, nodes: make(map[int]*Node)}
 	n := NewNode(k, 0, lb.transportFor(0), Config{})

@@ -336,4 +336,3 @@ func (p *Peer) onDatagram(src int, payload []byte) {
 		p.pump()
 	}
 }
-

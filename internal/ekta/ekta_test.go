@@ -10,6 +10,7 @@ import (
 )
 
 func TestSeederToDownloader(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(91)
 	medium := phy.NewMedium(k, phy.Config{Range: 60})
 
@@ -43,6 +44,7 @@ func TestSeederToDownloader(t *testing.T) {
 }
 
 func TestThreeNodeOverlayFetch(t *testing.T) {
+	t.Parallel()
 	// Seed, relay-positioned node, and a 2-hop downloader: DSR routes the
 	// DHT and data traffic through the middle node.
 	k := sim.NewKernel(92)
@@ -78,6 +80,7 @@ func TestThreeNodeOverlayFetch(t *testing.T) {
 }
 
 func TestLookupFailureRetriesViaPump(t *testing.T) {
+	t.Parallel()
 	// Downloader starts before the seed publishes: early lookups fail, but
 	// the pump keeps retrying and eventually succeeds.
 	k := sim.NewKernel(93)
@@ -104,6 +107,7 @@ func TestLookupFailureRetriesViaPump(t *testing.T) {
 }
 
 func TestDownloaderRepublishesPieces(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(94)
 	medium := phy.NewMedium(k, phy.Config{Range: 60})
 	seed := NewPeer(k, medium, geo.Stationary{}, Config{})
@@ -127,6 +131,7 @@ func TestDownloaderRepublishesPieces(t *testing.T) {
 }
 
 func TestStopSilencesPeer(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(95)
 	medium := phy.NewMedium(k, phy.Config{Range: 60})
 	p := NewPeer(k, medium, geo.Stationary{}, Config{})

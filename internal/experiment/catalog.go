@@ -169,4 +169,18 @@ func init() {
 		},
 		Run: urbanGridTrial,
 	})
+	Register(&Scenario{
+		Name:      "urban-grid-xl",
+		Summary:   "Fig.-7 workload at 25x node count in a 3x-edge area (metropolitan district)",
+		Optimizes: "scaling: the phy spatial-grid index at ~1000 nodes; quadratic media need not apply",
+		Narrative: "urban-grid taken 5x further: MobileDown, PureForwarders, and " +
+			"Intermediates multiplied by 25 in a 900 m square (~2.8x the paper's " +
+			"density, ~1000 nodes at ReducedScale). Tractable because the medium " +
+			"finds receivers through the geo.Grid spatial index; see docs/PERFORMANCE.md.",
+		Params: []Param{
+			{Name: "nodes", Value: "25x Scale node mix (~1005 nodes at ReducedScale)", Doc: "metropolitan node count"},
+			{Name: "area", Value: "900 m square (AreaSide=0 default)", Doc: "3x the Fig.-7 edge"},
+		},
+		Run: urbanGridXLTrial,
+	})
 }

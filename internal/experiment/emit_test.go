@@ -25,6 +25,7 @@ func sampleRun() RunResult {
 }
 
 func TestEmitRunJSONRoundTrips(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := EmitRun(&buf, FormatJSON, sampleRun()); err != nil {
 		t.Fatal(err)
@@ -51,6 +52,7 @@ func TestEmitRunJSONRoundTrips(t *testing.T) {
 }
 
 func TestEmitRunCSVShape(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := EmitRun(&buf, FormatCSV, sampleRun()); err != nil {
 		t.Fatal(err)
@@ -71,6 +73,7 @@ func TestEmitRunCSVShape(t *testing.T) {
 }
 
 func TestEmitRunTextIncludesAggregate(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := EmitRun(&buf, FormatText, sampleRun()); err != nil {
 		t.Fatal(err)
@@ -84,6 +87,7 @@ func TestEmitRunTextIncludesAggregate(t *testing.T) {
 }
 
 func TestEmitTablesFormats(t *testing.T) {
+	t.Parallel()
 	tbl := Table{
 		Title:  "demo",
 		Header: []string{"range(m)", "DAPES"},
@@ -123,6 +127,7 @@ func TestEmitTablesFormats(t *testing.T) {
 }
 
 func TestParseFormat(t *testing.T) {
+	t.Parallel()
 	for _, ok := range []string{"text", "json", "csv"} {
 		if _, err := ParseFormat(ok); err != nil {
 			t.Errorf("ParseFormat(%q) = %v", ok, err)

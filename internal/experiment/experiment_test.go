@@ -18,6 +18,7 @@ func tinyScale() Scale {
 }
 
 func TestRunDAPESTrialCompletes(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	tr, err := RunDAPESTrial(s, 80, 0, PaperDefaults())
 	if err != nil {
@@ -38,6 +39,7 @@ func TestRunDAPESTrialCompletes(t *testing.T) {
 }
 
 func TestRunDAPESDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	a, err := RunDAPESTrial(s, 80, 0, PaperDefaults())
 	if err != nil {
@@ -54,6 +56,7 @@ func TestRunDAPESDeterministicPerSeed(t *testing.T) {
 }
 
 func TestRunBithocTrialCompletes(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	tr, err := RunBithocTrial(s, 80, 0)
 	if err != nil {
@@ -65,6 +68,7 @@ func TestRunBithocTrialCompletes(t *testing.T) {
 }
 
 func TestRunEktaTrialCompletes(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	tr, err := RunEktaTrial(s, 80, 0)
 	if err != nil {
@@ -76,6 +80,7 @@ func TestRunEktaTrialCompletes(t *testing.T) {
 }
 
 func TestScenariosProduceTableI(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	s.NumFiles = 1
 	tbl, err := TableI(s)
@@ -109,6 +114,7 @@ func mustFloat(t *testing.T, s string) float64 {
 }
 
 func TestPercentile90(t *testing.T) {
+	t.Parallel()
 	if got := percentile90(nil); got != 0 {
 		t.Fatalf("empty percentile = %v", got)
 	}
@@ -122,6 +128,7 @@ func TestPercentile90(t *testing.T) {
 }
 
 func TestTableString(t *testing.T) {
+	t.Parallel()
 	tbl := Table{
 		Title:  "demo",
 		Note:   "a note",
@@ -135,6 +142,7 @@ func TestTableString(t *testing.T) {
 }
 
 func TestLoadModelMonotonic(t *testing.T) {
+	t.Parallel()
 	small := loadModel(100, 100, 1000, 1<<12)
 	big := loadModel(1000, 1000, 10000, 1<<12)
 	if big.SystemCalls <= small.SystemCalls || big.ContextSwitches <= small.ContextSwitches {
@@ -147,6 +155,7 @@ func TestLoadModelMonotonic(t *testing.T) {
 }
 
 func TestScalePresets(t *testing.T) {
+	t.Parallel()
 	for _, s := range []Scale{ReducedScale(), QuickScale(), FullScale()} {
 		if s.TotalPackets() <= 0 || s.Trials <= 0 || len(s.Ranges) == 0 {
 			t.Fatalf("invalid preset: %+v", s)

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"dapes/internal/phy"
+)
+
+// goldenScale keeps every scenario cheap enough to run twice per test while
+// still exercising discovery, advertisement, fetching, and forwarding. The
+// multiplier scenarios (urban-grid 5x, urban-grid-xl 25x) blow the node mix
+// up from this base, so it stays tiny.
+func goldenScale() Scale {
+	return Scale{
+		Trials:         1,
+		NumFiles:       2,
+		PacketsPerFile: 4,
+		PacketSize:     200,
+		Ranges:         []float64{60},
+		Horizon:        90 * time.Second,
+		Stationary:     2,
+		MobileDown:     2,
+		PureForwarders: 1,
+		Intermediates:  1,
+		LossRate:       0.10,
+		BaseSeed:       7,
+	}
+}
+
+// TestGoldenTraceGridMatchesNaive is the optimization's acceptance gate:
+// for every registered scenario, the grid-indexed medium must reproduce the
+// brute-force scan's results exactly — identical per-trial metrics
+// (download times, delivery/transmission counts, forwarding accuracy,
+// memory) and byte-identical emitted JSON. Any divergence means the spatial
+// index changed simulation behavior, which it must never do.
+//
+// The test flips the package-wide default index; because both modes are
+// equivalent by construction, tests running concurrently in this package
+// cannot observe a difference (the knob itself is atomic).
+func TestGoldenTraceGridMatchesNaive(t *testing.T) {
+	s := goldenScale()
+	prev := phy.SetDefaultIndex(phy.IndexNaive)
+	defer phy.SetDefaultIndex(prev)
+
+	run := func(t *testing.T, sc *Scenario, mode phy.IndexMode) (RunResult, []byte) {
+		t.Helper()
+		phy.SetDefaultIndex(mode)
+		res, err := Runner{Workers: 1}.Run(sc, s, 60)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		var buf bytes.Buffer
+		if err := EmitRun(&buf, FormatJSON, res); err != nil {
+			t.Fatalf("emit: %v", err)
+		}
+		return res, buf.Bytes()
+	}
+
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			naiveRes, naiveJSON := run(t, sc, phy.IndexNaive)
+			gridRes, gridJSON := run(t, sc, phy.IndexGrid)
+
+			if !reflect.DeepEqual(naiveRes, gridRes) {
+				t.Errorf("RunResult diverged\nnaive: %+v\ngrid:  %+v", naiveRes, gridRes)
+			}
+			for i := range naiveRes.Trials {
+				if naiveRes.Trials[i] != gridRes.Trials[i] {
+					t.Errorf("trial %d diverged\nnaive: %+v\ngrid:  %+v",
+						i, naiveRes.Trials[i], gridRes.Trials[i])
+				}
+			}
+			if !bytes.Equal(naiveJSON, gridJSON) {
+				t.Errorf("emitted JSON diverged\nnaive: %s\ngrid:  %s", naiveJSON, gridJSON)
+			}
+			// Guard against a degenerate world where equivalence is vacuous.
+			if naiveRes.Trials[0].Transmissions == 0 {
+				t.Error("golden run put no frames on the air; scale too small to prove anything")
+			}
+		})
+	}
+}
+
+// TestBaselineTrialsDeterministic reruns the same trial of every Fig.-7
+// system twice in-process and requires identical metrics. This pins the
+// fix for map-iteration-order leaks in the baselines (DHT migration offers
+// went on the air in map order; Bithoc broke holder ties by map order),
+// which made Ekta/Bithoc traces vary run to run.
+func TestBaselineTrialsDeterministic(t *testing.T) {
+	t.Parallel()
+	s := goldenScale()
+	for _, name := range []string{"fig7-dapes", "fig7-bithoc", "fig7-ekta"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			first, err := sc.Run(s, 60, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rerun := 0; rerun < 3; rerun++ {
+				again, err := sc.Run(s, 60, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if first != again {
+					t.Fatalf("rerun %d diverged:\nfirst: %+v\nagain: %+v", rerun, first, again)
+				}
+			}
+		})
+	}
+}

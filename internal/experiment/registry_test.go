@@ -7,6 +7,7 @@ import (
 )
 
 func TestRegistryListingAndLookup(t *testing.T) {
+	t.Parallel()
 	scs := Scenarios()
 	if len(scs) < 8 {
 		t.Fatalf("registry holds %d scenarios, want >= 8", len(scs))
@@ -43,6 +44,7 @@ func TestRegistryListingAndLookup(t *testing.T) {
 }
 
 func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	t.Parallel()
 	expectPanic := func(name string, sc *Scenario) {
 		t.Helper()
 		defer func() {
@@ -61,6 +63,7 @@ func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
 // TestPartitionedMergeHealsPartition checks the new scenario's point: the
 // disconnected cluster only completes after the merge time.
 func TestPartitionedMergeHealsPartition(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	tr, err := partitionedMergeTrial(s, 60, 0)
 	if err != nil {
@@ -81,6 +84,7 @@ func TestPartitionedMergeHealsPartition(t *testing.T) {
 }
 
 func TestConvoyChurnMostRidersComplete(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	tr, err := convoyChurnTrial(s, 60, 0)
 	if err != nil {
@@ -95,6 +99,7 @@ func TestConvoyChurnMostRidersComplete(t *testing.T) {
 }
 
 func TestUrbanGridScalesNodeCount(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	// Keep the 5x multiplication cheap: 2 mobile -> 10, plus 4 stationary.
 	s.MobileDown = 2

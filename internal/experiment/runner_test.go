@@ -12,6 +12,7 @@ import (
 // base seed must yield byte-identical aggregates whether trials run in one
 // goroutine or fan out across eight workers.
 func TestRunnerParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	s.Trials = 4
 	sc, ok := Lookup("fig7-dapes")
@@ -42,6 +43,7 @@ func TestRunnerParallelMatchesSerial(t *testing.T) {
 }
 
 func TestRunnerPropagatesTrialError(t *testing.T) {
+	t.Parallel()
 	boom := errors.New("boom")
 	var ran atomic.Int32
 	sc := &Scenario{
@@ -77,6 +79,7 @@ func TestRunnerPropagatesTrialError(t *testing.T) {
 }
 
 func TestRunnerRejectsBadInput(t *testing.T) {
+	t.Parallel()
 	if _, err := (Runner{}).Run(nil, tinyScale(), 80); err == nil {
 		t.Fatal("nil scenario accepted")
 	}
@@ -92,6 +95,7 @@ func TestRunnerRejectsBadInput(t *testing.T) {
 }
 
 func TestTrialSeedDistinctAndStable(t *testing.T) {
+	t.Parallel()
 	seen := map[int64]bool{}
 	for trial := 0; trial < 100; trial++ {
 		s := TrialSeed(42, trial)
@@ -111,6 +115,7 @@ func TestTrialSeedDistinctAndStable(t *testing.T) {
 // TestRunDAPESWorkersDeterministic drives the same figure path the CLIs use
 // (RunDAPES reads Scale.Workers) and checks parallelism changes nothing.
 func TestRunDAPESWorkersDeterministic(t *testing.T) {
+	t.Parallel()
 	s := tinyScale()
 	s.Trials = 3
 	dt1, tx1, trials1, err := RunDAPES(s, 80, PaperDefaults())

@@ -240,3 +240,18 @@ func urbanGridTrial(s Scale, wifiRange float64, trial int) (TrialResult, error) 
 	}
 	return RunDAPESTrial(dense, wifiRange, trial, PaperDefaults())
 }
+
+// urbanGridXLTrial pushes urban-grid another 5x: 25x the scale's node mix in
+// a 3x-edge area (~2.8x the paper's density, ~1000 nodes at ReducedScale).
+// The phy grid index is what makes this tractable — under the naive scan
+// every broadcast paid for the full node population.
+func urbanGridXLTrial(s Scale, wifiRange float64, trial int) (TrialResult, error) {
+	dense := s
+	dense.MobileDown = s.MobileDown * 25
+	dense.PureForwarders = s.PureForwarders * 25
+	dense.Intermediates = s.Intermediates * 25
+	if dense.AreaSide <= 0 {
+		dense.AreaSide = areaSide * 3
+	}
+	return RunDAPESTrial(dense, wifiRange, trial, PaperDefaults())
+}

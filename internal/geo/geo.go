@@ -59,9 +59,13 @@ type Stationary struct {
 }
 
 var _ Mobility = Stationary{}
+var _ Speeder = Stationary{}
 
 // PositionAt implements Mobility.
 func (s Stationary) PositionAt(time.Duration) Point { return s.At }
+
+// MaxSpeed implements Speeder: a stationary node never moves.
+func (s Stationary) MaxSpeed() float64 { return 0 }
 
 // randomDirectionLeg is one straight-line segment of a random-direction walk.
 type randomDirectionLeg struct {
@@ -101,6 +105,7 @@ type RandomDirection struct {
 }
 
 var _ Mobility = (*RandomDirection)(nil)
+var _ Speeder = (*RandomDirection)(nil)
 
 // RandomDirectionConfig configures a RandomDirection walker.
 type RandomDirectionConfig struct {
@@ -166,6 +171,11 @@ func (w *RandomDirection) timeToBoundary(leg randomDirectionLeg) time.Duration {
 	return lo
 }
 
+// MaxSpeed implements Speeder. Leg speeds interpolate between minSpeed and
+// maxSpeed, so the larger of the two bounds them even for a misconfigured
+// walker with MinSpeed > MaxSpeed.
+func (w *RandomDirection) MaxSpeed() float64 { return math.Max(w.minSpeed, w.maxSpeed) }
+
 // PositionAt implements Mobility, extending the walk lazily to cover t.
 func (w *RandomDirection) PositionAt(t time.Duration) Point {
 	for {
@@ -199,10 +209,12 @@ type Waypoint struct {
 // list of waypoints; used to reproduce the Fig. 8 outdoor scenarios where
 // peers follow choreographed paths.
 type Scripted struct {
-	points []Waypoint
+	points   []Waypoint
+	maxSpeed float64
 }
 
 var _ Mobility = (*Scripted)(nil)
+var _ Speeder = (*Scripted)(nil)
 
 // NewScripted returns a scripted path over the given waypoints, which must be
 // ordered by time. Before the first waypoint the node sits at the first
@@ -210,8 +222,27 @@ var _ Mobility = (*Scripted)(nil)
 func NewScripted(points []Waypoint) *Scripted {
 	cp := make([]Waypoint, len(points))
 	copy(cp, points)
-	return &Scripted{points: cp}
+	s := &Scripted{points: cp}
+	for i := 1; i < len(cp); i++ {
+		dist := cp[i-1].Pos.Distance(cp[i].Pos)
+		span := cp[i].At - cp[i-1].At
+		switch {
+		case span > 0:
+			if v := dist / span.Seconds(); v > s.maxSpeed {
+				s.maxSpeed = v
+			}
+		case dist > 0:
+			// Two waypoints at the same instant teleport the node: no
+			// finite speed bound exists.
+			s.maxSpeed = math.Inf(1)
+		}
+	}
+	return s
 }
+
+// MaxSpeed implements Speeder: the steepest waypoint-to-waypoint segment
+// bounds the whole path (+Inf when waypoints teleport).
+func (s *Scripted) MaxSpeed() float64 { return s.maxSpeed }
 
 // PositionAt implements Mobility.
 func (s *Scripted) PositionAt(t time.Duration) Point {

@@ -9,6 +9,7 @@ import (
 )
 
 func TestPointDistance(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name string
 		p, q Point
@@ -29,6 +30,7 @@ func TestPointDistance(t *testing.T) {
 }
 
 func TestRectContainsAndClamp(t *testing.T) {
+	t.Parallel()
 	r := Rect{Width: 300, Height: 300}
 	if !r.Contains(Point{150, 150}) {
 		t.Fatal("center not contained")
@@ -46,6 +48,7 @@ func TestRectContainsAndClamp(t *testing.T) {
 }
 
 func TestStationary(t *testing.T) {
+	t.Parallel()
 	s := Stationary{At: Point{5, 7}}
 	for _, d := range []time.Duration{0, time.Second, time.Hour} {
 		if s.PositionAt(d) != (Point{5, 7}) {
@@ -55,6 +58,7 @@ func TestStationary(t *testing.T) {
 }
 
 func TestRandomDirectionStaysInArea(t *testing.T) {
+	t.Parallel()
 	area := Rect{Width: 300, Height: 300}
 	w := NewRandomDirection(RandomDirectionConfig{
 		Area:  area,
@@ -70,6 +74,7 @@ func TestRandomDirectionStaysInArea(t *testing.T) {
 }
 
 func TestRandomDirectionSpeedBounds(t *testing.T) {
+	t.Parallel()
 	area := Rect{Width: 300, Height: 300}
 	w := NewRandomDirection(RandomDirectionConfig{
 		Area:     area,
@@ -93,6 +98,7 @@ func TestRandomDirectionSpeedBounds(t *testing.T) {
 }
 
 func TestRandomDirectionDeterminism(t *testing.T) {
+	t.Parallel()
 	mk := func() *RandomDirection {
 		return NewRandomDirection(RandomDirectionConfig{
 			Area:  Rect{Width: 300, Height: 300},
@@ -110,6 +116,7 @@ func TestRandomDirectionDeterminism(t *testing.T) {
 }
 
 func TestRandomDirectionMonotoneQueriesMatchRandomAccess(t *testing.T) {
+	t.Parallel()
 	// Querying out of order must give the same answers as in order, since
 	// legs extend lazily.
 	w1 := NewRandomDirection(RandomDirectionConfig{
@@ -132,6 +139,7 @@ func TestRandomDirectionMonotoneQueriesMatchRandomAccess(t *testing.T) {
 }
 
 func TestScriptedInterpolation(t *testing.T) {
+	t.Parallel()
 	s := NewScripted([]Waypoint{
 		{At: 0, Pos: Point{0, 0}},
 		{At: 10 * time.Second, Pos: Point{100, 0}},
@@ -158,6 +166,7 @@ func TestScriptedInterpolation(t *testing.T) {
 }
 
 func TestScriptedEmpty(t *testing.T) {
+	t.Parallel()
 	s := NewScripted(nil)
 	if s.PositionAt(time.Second) != (Point{}) {
 		t.Fatal("empty script should return origin")
@@ -165,6 +174,7 @@ func TestScriptedEmpty(t *testing.T) {
 }
 
 func TestScriptedDuplicateTimestamps(t *testing.T) {
+	t.Parallel()
 	s := NewScripted([]Waypoint{
 		{At: 0, Pos: Point{0, 0}},
 		{At: 10 * time.Second, Pos: Point{1, 1}},
@@ -179,6 +189,7 @@ func TestScriptedDuplicateTimestamps(t *testing.T) {
 }
 
 func TestDistanceSymmetryProperty(t *testing.T) {
+	t.Parallel()
 	f := func(ax, ay, bx, by float64) bool {
 		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
 			return true

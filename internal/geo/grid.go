@@ -1,0 +1,154 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Speeder is an optional Mobility extension reporting an upper bound on a
+// model's speed. Spatial indexes over moving nodes (phy.Medium's grid) use
+// the bound to decide how stale a node's cell assignment may get before it
+// must be re-bucketed; models without a finite bound are re-bucketed on
+// every query timestamp instead.
+type Speeder interface {
+	// MaxSpeed returns an upper bound on the node's speed in meters per
+	// second. 0 means the node never moves.
+	MaxSpeed() float64
+}
+
+// MaxSpeedOf returns m's speed bound, or +Inf when the model does not
+// implement Speeder (no bound known).
+func MaxSpeedOf(m Mobility) float64 {
+	if s, ok := m.(Speeder); ok {
+		return s.MaxSpeed()
+	}
+	return math.Inf(1)
+}
+
+// gridCell addresses one bucket of the uniform hash grid.
+type gridCell struct{ x, y int32 }
+
+// Grid is a uniform spatial hash index mapping small non-negative integer
+// IDs to 2D positions. Cells are square with a fixed edge; a range query
+// visits only the cells intersecting the query disc, so with a cell size
+// matching the query radius it touches a small constant number of cells
+// regardless of population.
+//
+// QueryRange returns candidates in ascending ID order. Callers that iterate
+// candidates and perform side effects (the wireless medium scheduling
+// receptions) rely on that order being identical to a brute-force scan over
+// IDs, so it is part of the contract, not an implementation detail.
+type Grid struct {
+	cell  float64
+	cells map[gridCell][]int
+	// where[id] is the cell currently holding id, valid when present[id].
+	where   []gridCell
+	present []bool
+}
+
+// NewGrid returns an empty grid with the given cell edge length in meters.
+// Cell size should match the dominant query radius so queries touch a small
+// constant number of cells. It panics on a non-positive cell size.
+func NewGrid(cellSize float64) *Grid {
+	if !(cellSize > 0) {
+		panic("geo: NewGrid requires a positive cell size")
+	}
+	return &Grid{cell: cellSize, cells: make(map[gridCell][]int)}
+}
+
+// CellSize returns the cell edge length the grid was built with.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+func (g *Grid) cellFor(p Point) gridCell {
+	return gridCell{
+		x: int32(math.Floor(p.X / g.cell)),
+		y: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert adds id at position p. Inserting an already-present id behaves
+// like Move. IDs must be non-negative and should be dense (they index an
+// internal slice).
+func (g *Grid) Insert(id int, p Point) { g.Move(id, p) }
+
+// Move updates id's position, re-bucketing only when its cell changed.
+// Moving an absent id inserts it.
+func (g *Grid) Move(id int, p Point) {
+	for id >= len(g.present) {
+		g.present = append(g.present, false)
+		g.where = append(g.where, gridCell{})
+	}
+	c := g.cellFor(p)
+	if g.present[id] {
+		if g.where[id] == c {
+			return
+		}
+		g.removeFromCell(id, g.where[id])
+	}
+	g.present[id] = true
+	g.where[id] = c
+	g.cells[c] = append(g.cells[c], id)
+}
+
+// Remove deletes id from the index. Removing an absent id is a no-op.
+func (g *Grid) Remove(id int) {
+	if id < 0 || id >= len(g.present) || !g.present[id] {
+		return
+	}
+	g.removeFromCell(id, g.where[id])
+	g.present[id] = false
+}
+
+func (g *Grid) removeFromCell(id int, c gridCell) {
+	ids := g.cells[c]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			g.cells[c] = ids[:len(ids)-1]
+			return
+		}
+	}
+}
+
+// QueryRange appends to out every id whose cell intersects the disc of
+// radius r around center and returns out sorted in ascending ID order. The
+// result is a superset of the ids whose stored position lies within r of
+// center; callers filter with exact positions. Entries are bucketed by the
+// position last passed to Insert/Move, so callers must bound how far an
+// entry may have drifted since and widen r by that bound.
+func (g *Grid) QueryRange(center Point, r float64, out []int) []int {
+	if r < 0 {
+		return out
+	}
+	lo := g.cellFor(Point{X: center.X - r, Y: center.Y - r})
+	hi := g.cellFor(Point{X: center.X + r, Y: center.Y + r})
+	r2 := r * r
+	for cx := lo.x; cx <= hi.x; cx++ {
+		dx := axisDist(center.X, float64(cx)*g.cell, g.cell)
+		for cy := lo.y; cy <= hi.y; cy++ {
+			ids := g.cells[gridCell{x: cx, y: cy}]
+			if len(ids) == 0 {
+				continue
+			}
+			dy := axisDist(center.Y, float64(cy)*g.cell, g.cell)
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			out = append(out, ids...)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// axisDist returns the distance from coordinate v to the interval
+// [lo, lo+width] along one axis (0 when v lies inside it).
+func axisDist(v, lo, width float64) float64 {
+	if v < lo {
+		return lo - v
+	}
+	if v > lo+width {
+		return v - (lo + width)
+	}
+	return 0
+}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
 	id := ndn.ParseName("/rural-net/alice")
 	k1, err := Generate(id, rand.New(rand.NewSource(5)))
 	if err != nil {
@@ -30,6 +31,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestIdentityAndKeyNameShape(t *testing.T) {
+	t.Parallel()
 	id := ndn.ParseName("/rural-net/alice")
 	k, err := Generate(id, rand.New(rand.NewSource(1)))
 	if err != nil {
@@ -44,6 +46,7 @@ func TestIdentityAndKeyNameShape(t *testing.T) {
 }
 
 func TestSignVerifyThroughTrustStore(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	alice, _ := Generate(ndn.ParseName("/net/alice"), rng)
 	mallory, _ := Generate(ndn.ParseName("/net/mallory"), rng)
@@ -72,6 +75,7 @@ func TestSignVerifyThroughTrustStore(t *testing.T) {
 }
 
 func TestAddPublic(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	k, _ := Generate(ndn.ParseName("/net/bob"), rng)
 	store := NewTrustStore()
@@ -83,6 +87,7 @@ func TestAddPublic(t *testing.T) {
 }
 
 func TestSignedDataVerifies(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(4))
 	producer, _ := Generate(ndn.ParseName("/net/producer"), rng)
 	store := NewTrustStore()

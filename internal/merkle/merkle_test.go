@@ -16,12 +16,14 @@ func leaves(n int) []Digest {
 }
 
 func TestBuildEmpty(t *testing.T) {
+	t.Parallel()
 	if _, err := Build(nil); err != ErrEmpty {
 		t.Fatalf("err = %v, want ErrEmpty", err)
 	}
 }
 
 func TestSingleLeafRootIsLeaf(t *testing.T) {
+	t.Parallel()
 	l := leaves(1)
 	tr, err := Build(l)
 	if err != nil {
@@ -40,6 +42,7 @@ func TestSingleLeafRootIsLeaf(t *testing.T) {
 }
 
 func TestProofVerifyAllSizes(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 100} {
 		l := leaves(n)
 		tr, err := Build(l)
@@ -68,6 +71,7 @@ func TestProofVerifyAllSizes(t *testing.T) {
 }
 
 func TestTamperedLeafFails(t *testing.T) {
+	t.Parallel()
 	l := leaves(8)
 	tr, _ := Build(l)
 	proof, _ := tr.Proof(3)
@@ -78,6 +82,7 @@ func TestTamperedLeafFails(t *testing.T) {
 }
 
 func TestTamperedProofFails(t *testing.T) {
+	t.Parallel()
 	l := leaves(8)
 	tr, _ := Build(l)
 	proof, _ := tr.Proof(3)
@@ -88,6 +93,7 @@ func TestTamperedProofFails(t *testing.T) {
 }
 
 func TestProofOutOfRange(t *testing.T) {
+	t.Parallel()
 	tr, _ := Build(leaves(4))
 	if _, err := tr.Proof(-1); err == nil {
 		t.Fatal("negative index accepted")
@@ -101,6 +107,7 @@ func TestProofOutOfRange(t *testing.T) {
 }
 
 func TestRootDependsOnOrder(t *testing.T) {
+	t.Parallel()
 	l := leaves(4)
 	r1, err := RootOf(l)
 	if err != nil {
@@ -114,6 +121,7 @@ func TestRootDependsOnOrder(t *testing.T) {
 }
 
 func TestLeafDomainSeparation(t *testing.T) {
+	t.Parallel()
 	// An interior hash must never equal a leaf hash of the concatenation.
 	a, b := HashLeaf([]byte("a")), HashLeaf([]byte("b"))
 	interior := hashPair(a, b)
@@ -124,6 +132,7 @@ func TestLeafDomainSeparation(t *testing.T) {
 }
 
 func TestVerifyProperty(t *testing.T) {
+	t.Parallel()
 	f := func(contents [][]byte, pick uint8) bool {
 		if len(contents) == 0 {
 			return true

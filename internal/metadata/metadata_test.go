@@ -26,6 +26,7 @@ func build(t *testing.T, format Format) *BuildResult {
 }
 
 func TestBuildCollectionLayout(t *testing.T) {
+	t.Parallel()
 	res := build(t, FormatPacketDigest)
 	m := res.Manifest
 	if m.TotalPackets() != 4 || len(res.Packets) != 4 {
@@ -59,6 +60,7 @@ func TestBuildCollectionLayout(t *testing.T) {
 }
 
 func TestGlobalIndexOfName(t *testing.T) {
+	t.Parallel()
 	res := build(t, FormatPacketDigest)
 	m := res.Manifest
 	for i, p := range res.Packets {
@@ -81,6 +83,7 @@ func TestGlobalIndexOfName(t *testing.T) {
 }
 
 func TestVerifyPacketDigestFormat(t *testing.T) {
+	t.Parallel()
 	res := build(t, FormatPacketDigest)
 	m := res.Manifest
 	for i, p := range res.Packets {
@@ -104,6 +107,7 @@ func TestVerifyPacketDigestFormat(t *testing.T) {
 }
 
 func TestVerifyFileMerkleFormat(t *testing.T) {
+	t.Parallel()
 	res := build(t, FormatMerkle)
 	m := res.Manifest
 	// Per the paper, per-packet verification is unavailable in this format.
@@ -130,6 +134,7 @@ func TestVerifyFileMerkleFormat(t *testing.T) {
 }
 
 func TestVerifyFileDigestFormat(t *testing.T) {
+	t.Parallel()
 	res := build(t, FormatPacketDigest)
 	if !res.Manifest.VerifyFile(0, res.Packets[:3]) {
 		t.Fatal("digest-format whole-file verification failed")
@@ -137,6 +142,7 @@ func TestVerifyFileDigestFormat(t *testing.T) {
 }
 
 func TestManifestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, format := range []Format{FormatPacketDigest, FormatMerkle} {
 		t.Run(format.String(), func(t *testing.T) {
 			res := build(t, format)
@@ -160,6 +166,7 @@ func TestManifestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeManifestErrors(t *testing.T) {
+	t.Parallel()
 	res := build(t, FormatPacketDigest)
 	enc := res.Manifest.Encode()
 	cases := map[string][]byte{
@@ -176,6 +183,7 @@ func TestDecodeManifestErrors(t *testing.T) {
 }
 
 func TestMerkleManifestSmallerThanDigestManifest(t *testing.T) {
+	t.Parallel()
 	// The paper's trade-off: the merkle manifest fits one packet.
 	files := []File{{Name: "big", Content: bytes.Repeat([]byte{1}, 100_000)}}
 	dig, err := BuildCollection(ndn.ParseName("/c"), files, 1000, FormatPacketDigest, nil)
@@ -196,6 +204,7 @@ func TestMerkleManifestSmallerThanDigestManifest(t *testing.T) {
 }
 
 func TestSegmentAndAssembleSigned(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	producer, err := keys.Generate(ndn.ParseName("/net/producer"), rng)
 	if err != nil {
@@ -244,6 +253,7 @@ func TestSegmentAndAssembleSigned(t *testing.T) {
 }
 
 func TestSegmentSinglePacket(t *testing.T) {
+	t.Parallel()
 	res := build(t, FormatMerkle)
 	segs, err := res.Manifest.Segment(2000, nil)
 	if err != nil {
@@ -259,6 +269,7 @@ func TestSegmentSinglePacket(t *testing.T) {
 }
 
 func TestSegmentErrors(t *testing.T) {
+	t.Parallel()
 	res := build(t, FormatMerkle)
 	if _, err := res.Manifest.Segment(4, nil); err == nil {
 		t.Fatal("tiny payload accepted")
@@ -269,6 +280,7 @@ func TestSegmentErrors(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := BuildCollection(ndn.ParseName("/c"), nil, 1000, FormatMerkle, nil); err != ErrNoFiles {
 		t.Fatalf("no files: %v", err)
 	}
@@ -281,6 +293,7 @@ func TestBuildErrors(t *testing.T) {
 }
 
 func TestEmptyFileOccupiesOnePacket(t *testing.T) {
+	t.Parallel()
 	res, err := BuildCollection(ndn.ParseName("/c"), []File{{Name: "empty"}}, 1000, FormatPacketDigest, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -294,6 +307,7 @@ func TestEmptyFileOccupiesOnePacket(t *testing.T) {
 }
 
 func TestSignedPacketsCarryProducerKey(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(12))
 	producer, _ := keys.Generate(ndn.ParseName("/net/p"), rng)
 	store := keys.NewTrustStore()

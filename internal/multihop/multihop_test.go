@@ -26,6 +26,7 @@ func buildCollection(t *testing.T, pkts int) *metadata.BuildResult {
 }
 
 func TestPureForwarderBridgesTwoHops(t *testing.T) {
+	t.Parallel()
 	// Producer at x=0, pure forwarder at x=40, downloader at x=80; range 50.
 	// The downloader can only reach the producer through the forwarder.
 	k := sim.NewKernel(21)
@@ -66,6 +67,7 @@ func TestPureForwarderBridgesTwoHops(t *testing.T) {
 }
 
 func TestPureForwarderServesFromCache(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(22)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	fwd := NewPureForwarder(k, medium, geo.Stationary{At: geo.Point{X: 0}}, Config{ForwardProb: 1.0})
@@ -103,6 +105,7 @@ func TestPureForwarderServesFromCache(t *testing.T) {
 }
 
 func TestSuppressionTimerBlocksRepeatedForwards(t *testing.T) {
+	t.Parallel()
 	// No producer exists, so the forwarded Interest is never answered; the
 	// suppression timer must block subsequent forwards of the same name.
 	k := sim.NewKernel(23)
@@ -117,8 +120,8 @@ func TestSuppressionTimerBlocksRepeatedForwards(t *testing.T) {
 		k.ScheduleAt(at, func() { medium.Broadcast(r, in.Encode()) })
 	}
 	send(0, 1)
-	send(3*time.Second, 2)    // within suppression window -> suppressed
-	send(30*time.Second, 3)   // long after expiry (sweep pruned) -> forwarded
+	send(3*time.Second, 2)  // within suppression window -> suppressed
+	send(30*time.Second, 3) // long after expiry (sweep pruned) -> forwarded
 	k.Run(40 * time.Second)
 
 	st := fwd.Stats()
@@ -131,6 +134,7 @@ func TestSuppressionTimerBlocksRepeatedForwards(t *testing.T) {
 }
 
 func TestProbabilisticForwardingRespectsProbability(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(24)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	fwd := NewPureForwarder(k, medium, geo.Stationary{At: geo.Point{X: 0}},
@@ -154,6 +158,7 @@ func TestProbabilisticForwardingRespectsProbability(t *testing.T) {
 }
 
 func TestStoppedForwarderIsSilent(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(25)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	fwd := NewPureForwarder(k, medium, geo.Stationary{At: geo.Point{X: 0}}, Config{ForwardProb: 1.0})
@@ -169,6 +174,7 @@ func TestStoppedForwarderIsSilent(t *testing.T) {
 }
 
 func TestDapesIntermediateForwardsForSameCollection(t *testing.T) {
+	t.Parallel()
 	// Section V-B: K (a DAPES peer downloading the same collection) sits
 	// between A and J and forwards only Interests it speculates will bring
 	// data back. Here the intermediate has full knowledge via bitmaps.

@@ -8,6 +8,7 @@ import (
 )
 
 func TestParseNameAndString(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		uri  string
 		want string
@@ -34,6 +35,7 @@ func TestParseNameAndString(t *testing.T) {
 }
 
 func TestNamePrefixAndAppend(t *testing.T) {
+	t.Parallel()
 	n := ParseName("/a/b/c")
 	p := n.Prefix(2)
 	if p.String() != "/a/b" {
@@ -66,6 +68,7 @@ func TestNamePrefixAndAppend(t *testing.T) {
 }
 
 func TestNamePrefixOfEqualCompare(t *testing.T) {
+	t.Parallel()
 	a := ParseName("/a/b")
 	b := ParseName("/a/b/c")
 	if !a.IsPrefixOf(b) || b.IsPrefixOf(a) {
@@ -86,6 +89,7 @@ func TestNamePrefixOfEqualCompare(t *testing.T) {
 }
 
 func TestVarNumRoundTrip(t *testing.T) {
+	t.Parallel()
 	vals := []uint64{0, 1, 252, 253, 254, 65535, 65536, 1 << 31, 1 << 40}
 	for _, v := range vals {
 		b := appendVarNum(nil, v)
@@ -103,6 +107,7 @@ func TestVarNumRoundTrip(t *testing.T) {
 }
 
 func TestInterestRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := &Interest{
 		Name:        ParseName("/dapes/discovery"),
 		CanBePrefix: true,
@@ -126,6 +131,7 @@ func TestInterestRoundTrip(t *testing.T) {
 }
 
 func TestInterestMinimalRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := &Interest{Name: ParseName("/x")}
 	out, err := DecodeInterest(in.Encode())
 	if err != nil {
@@ -137,6 +143,7 @@ func TestInterestMinimalRoundTrip(t *testing.T) {
 }
 
 func TestDataRoundTripWithDigest(t *testing.T) {
+	t.Parallel()
 	d := &Data{
 		Name:      ParseName("/damaged-bridge-1533783192/bridge-picture/0"),
 		Type:      ContentTypeBlob,
@@ -163,6 +170,7 @@ func TestDataRoundTripWithDigest(t *testing.T) {
 }
 
 func TestDataDigestStableAndNameBound(t *testing.T) {
+	t.Parallel()
 	d1 := &Data{Name: ParseName("/a/0"), Content: []byte("x")}
 	d2 := &Data{Name: ParseName("/a/0"), Content: []byte("x")}
 	d3 := &Data{Name: ParseName("/a/1"), Content: []byte("x")}
@@ -175,6 +183,7 @@ func TestDataDigestStableAndNameBound(t *testing.T) {
 }
 
 func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := DecodeInterest(nil); err == nil {
 		t.Fatal("nil interest decoded")
 	}
@@ -196,6 +205,7 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestInterestNameRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	f := func(parts []string, nonce uint32) bool {
 		n := Name{}
 		for _, p := range parts {
@@ -216,6 +226,7 @@ func TestInterestNameRoundTripProperty(t *testing.T) {
 }
 
 func TestDataContentRoundTripProperty(t *testing.T) {
+	t.Parallel()
 	f := func(content []byte) bool {
 		d := &Data{Name: ParseName("/p/0"), Content: content}
 		d.SignDigest()

@@ -3,8 +3,19 @@ package ndn
 import (
 	"crypto/sha256"
 	"fmt"
+	"math"
 	"time"
 )
+
+// clampDurationMs converts a decoded millisecond count to a Duration,
+// saturating instead of overflowing into negative durations on
+// adversarially large values.
+func clampDurationMs(ms uint64) time.Duration {
+	if ms > uint64(math.MaxInt64/int64(time.Millisecond)) {
+		ms = uint64(math.MaxInt64 / int64(time.Millisecond))
+	}
+	return time.Duration(ms) * time.Millisecond
+}
 
 // ContentType values for Data packets.
 const (
@@ -96,7 +107,7 @@ func DecodeInterest(wire []byte) (*Interest, error) {
 			if err != nil {
 				return nil, err
 			}
-			it.Lifetime = time.Duration(ms) * time.Millisecond
+			it.Lifetime = clampDurationMs(ms)
 		case tlvHopLimit:
 			if len(v) == 1 {
 				it.HopLimit = v[0]
@@ -201,7 +212,7 @@ func DecodeData(wire []byte) (*Data, error) {
 					if err != nil {
 						return nil, err
 					}
-					d.Freshness = time.Duration(ms) * time.Millisecond
+					d.Freshness = clampDurationMs(ms)
 				}
 			}
 		case tlvContent:

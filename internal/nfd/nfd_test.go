@@ -20,6 +20,7 @@ func mkData(uri, content string) *ndn.Data {
 }
 
 func TestContentStoreExactAndPrefix(t *testing.T) {
+	t.Parallel()
 	cs := NewContentStore(10)
 	cs.Insert(mkData("/coll/file/0", "a"))
 	cs.Insert(mkData("/coll/file/1", "b"))
@@ -39,6 +40,7 @@ func TestContentStoreExactAndPrefix(t *testing.T) {
 }
 
 func TestContentStoreLRUEviction(t *testing.T) {
+	t.Parallel()
 	cs := NewContentStore(2)
 	cs.Insert(mkData("/a/0", "x"))
 	cs.Insert(mkData("/a/1", "x"))
@@ -59,6 +61,7 @@ func TestContentStoreLRUEviction(t *testing.T) {
 }
 
 func TestContentStoreZeroCapacity(t *testing.T) {
+	t.Parallel()
 	cs := NewContentStore(0)
 	cs.Insert(mkData("/a/0", "x"))
 	if cs.Len() != 0 {
@@ -67,6 +70,7 @@ func TestContentStoreZeroCapacity(t *testing.T) {
 }
 
 func TestContentStoreReinsertRefreshes(t *testing.T) {
+	t.Parallel()
 	cs := NewContentStore(2)
 	cs.Insert(mkData("/a/0", "old"))
 	cs.Insert(mkData("/a/1", "x"))
@@ -79,6 +83,7 @@ func TestContentStoreReinsertRefreshes(t *testing.T) {
 }
 
 func TestPitAggregationAndExpiry(t *testing.T) {
+	t.Parallel()
 	k, clock := testClock()
 	pit := NewPit(clock)
 	f1 := &Face{id: 1}
@@ -110,6 +115,7 @@ func TestPitAggregationAndExpiry(t *testing.T) {
 }
 
 func TestPitSatisfyRemovesEntry(t *testing.T) {
+	t.Parallel()
 	_, clock := testClock()
 	pit := NewPit(clock)
 	f := &Face{id: 1}
@@ -125,6 +131,7 @@ func TestPitSatisfyRemovesEntry(t *testing.T) {
 }
 
 func TestFibLongestPrefixMatch(t *testing.T) {
+	t.Parallel()
 	fib := NewFib()
 	fShort := &Face{id: 1}
 	fLong := &Face{id: 2}
@@ -151,6 +158,7 @@ func TestFibLongestPrefixMatch(t *testing.T) {
 }
 
 func TestFibDuplicateInsertIdempotent(t *testing.T) {
+	t.Parallel()
 	fib := NewFib()
 	f := &Face{id: 1}
 	fib.Insert(ndn.ParseName("/a"), f)
@@ -180,6 +188,7 @@ func newFixture(cfg Config) *fixture {
 }
 
 func TestForwarderPipelineForwardAndReturn(t *testing.T) {
+	t.Parallel()
 	fx := newFixture(Config{})
 	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
 
@@ -214,6 +223,7 @@ func TestForwarderPipelineForwardAndReturn(t *testing.T) {
 }
 
 func TestForwarderAggregatesDuplicateInterests(t *testing.T) {
+	t.Parallel()
 	fx := newFixture(Config{})
 	app2 := fx.fw.AddFace(true, nil)
 	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
@@ -229,6 +239,7 @@ func TestForwarderAggregatesDuplicateInterests(t *testing.T) {
 }
 
 func TestForwarderNonceLoopDrop(t *testing.T) {
+	t.Parallel()
 	fx := newFixture(Config{})
 	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
 	in := &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 9}
@@ -240,6 +251,7 @@ func TestForwarderNonceLoopDrop(t *testing.T) {
 }
 
 func TestForwarderUnsolicitedDataPolicy(t *testing.T) {
+	t.Parallel()
 	strict := newFixture(Config{})
 	strict.fw.ReceiveData(strict.net, mkData("/x/0", "v"))
 	if strict.fw.Cs().Len() != 0 {
@@ -257,6 +269,7 @@ func TestForwarderUnsolicitedDataPolicy(t *testing.T) {
 }
 
 func TestForwarderNoRouteSuppresses(t *testing.T) {
+	t.Parallel()
 	fx := newFixture(Config{})
 	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/nowhere"), Nonce: 1})
 	if len(fx.netOut) != 0 {
@@ -272,6 +285,7 @@ type dropAllStrategy struct{}
 func (dropAllStrategy) AfterReceiveInterest(*Face, *ndn.Interest, []*Face) []*Face { return nil }
 
 func TestForwarderCustomStrategy(t *testing.T) {
+	t.Parallel()
 	fx := newFixture(Config{Strategy: dropAllStrategy{}})
 	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
 	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 1})
@@ -281,6 +295,7 @@ func TestForwarderCustomStrategy(t *testing.T) {
 }
 
 func TestDispatchRoutesWireFormats(t *testing.T) {
+	t.Parallel()
 	fx := newFixture(Config{})
 	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
 
@@ -299,6 +314,7 @@ func TestDispatchRoutesWireFormats(t *testing.T) {
 }
 
 func TestPitEntryExpiresDownstreamGone(t *testing.T) {
+	t.Parallel()
 	fx := newFixture(Config{DefaultLifetime: time.Second})
 	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
 	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 1})

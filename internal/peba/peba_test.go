@@ -11,6 +11,7 @@ func newBackoff(cfg Config) *Backoff {
 }
 
 func TestDefaults(t *testing.T) {
+	t.Parallel()
 	b := newBackoff(Config{})
 	cfg := b.Config()
 	if cfg.Window != 20*time.Millisecond || cfg.Groups != 2 || cfg.Slot == 0 {
@@ -19,6 +20,7 @@ func TestDefaults(t *testing.T) {
 }
 
 func TestLinearPrioritization(t *testing.T) {
+	t.Parallel()
 	b := newBackoff(Config{Window: 20 * time.Millisecond})
 	full := b.Delay(1.0)
 	half := b.Delay(0.5)
@@ -35,6 +37,7 @@ func TestLinearPrioritization(t *testing.T) {
 }
 
 func TestLinearDelayCapped(t *testing.T) {
+	t.Parallel()
 	b := newBackoff(Config{Window: 20 * time.Millisecond, MaxDelayFactor: 5})
 	if got := b.Delay(0); got != 100*time.Millisecond {
 		t.Fatalf("Delay(0) = %v, want cap", got)
@@ -52,6 +55,7 @@ func TestLinearDelayCapped(t *testing.T) {
 }
 
 func TestSlotsDoubleOnCollision(t *testing.T) {
+	t.Parallel()
 	b := newBackoff(Config{})
 	if b.Slots() != 1 {
 		t.Fatalf("initial slots = %d", b.Slots())
@@ -71,6 +75,7 @@ func TestSlotsDoubleOnCollision(t *testing.T) {
 }
 
 func TestSlotGroupsPreservePriority(t *testing.T) {
+	t.Parallel()
 	// After two collisions there are 4 slots in 2 groups. High-priority
 	// peers (frac >= 0.5) must always draw slots 0-1; low-priority peers
 	// slots 2-3 — exactly the paper's B/D example.
@@ -92,6 +97,7 @@ func TestSlotGroupsPreservePriority(t *testing.T) {
 }
 
 func TestBoundaryFractionAtLeastHalfIsFirstGroup(t *testing.T) {
+	t.Parallel()
 	// "Peers that have, at least, half of the missing packets randomly
 	// select a slot in the first group."
 	slot := time.Millisecond
@@ -108,6 +114,7 @@ func TestBoundaryFractionAtLeastHalfIsFirstGroup(t *testing.T) {
 }
 
 func TestSingleSlotAfterOneCollisionWithManyGroups(t *testing.T) {
+	t.Parallel()
 	// Groups must degrade gracefully when there are fewer slots than groups.
 	b := New(Config{Slot: time.Millisecond, Groups: 4}, rand.New(rand.NewSource(5)))
 	b.OnCollision() // 2 slots, 4 groups -> clamp to 2 groups
@@ -118,6 +125,7 @@ func TestSingleSlotAfterOneCollisionWithManyGroups(t *testing.T) {
 }
 
 func TestExpectedDelayMatchesFormula(t *testing.T) {
+	t.Parallel()
 	// n=9 slots/group: L_avg = 4, T = (4-1)/2 * tau = 1.5 tau.
 	tau := 2 * time.Millisecond
 	if got := ExpectedDelay(9, tau); got != 3*time.Millisecond {
@@ -133,6 +141,7 @@ func TestExpectedDelayMatchesFormula(t *testing.T) {
 }
 
 func TestLinearBackoffIgnoresCollisions(t *testing.T) {
+	t.Parallel()
 	l := NewLinear(Config{Window: 20 * time.Millisecond})
 	d1 := l.Delay(0.5)
 	// There is no collision state to mutate; delay is stable.
@@ -143,6 +152,7 @@ func TestLinearBackoffIgnoresCollisions(t *testing.T) {
 }
 
 func TestDelayDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
 	mk := func() []time.Duration {
 		b := New(Config{}, rand.New(rand.NewSource(9)))
 		b.OnCollision()

@@ -1,0 +1,83 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dapes/internal/geo"
+	"dapes/internal/sim"
+)
+
+// benchWorld builds a medium with n random-direction walkers at a constant
+// node density (the area grows with n), so the naive scan's per-broadcast
+// cost grows with n while the true neighbor count stays flat — the regime
+// the urban-grid scenarios live in.
+func benchWorld(n int, mode IndexMode) (*sim.Kernel, *Medium) {
+	k := sim.NewKernel(42)
+	m := NewMedium(k, Config{Range: 60, Index: mode})
+	side := math.Sqrt(float64(n)) * 45 // ~5.6 expected neighbors at range 60
+	area := geo.Rect{Width: side, Height: side}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		m.Attach(geo.NewRandomDirection(geo.RandomDirectionConfig{
+			Area:  area,
+			Start: geo.Point{X: rng.Float64() * side, Y: rng.Float64() * side},
+			RNG:   rand.New(rand.NewSource(int64(i + 1))),
+		}))
+	}
+	return k, m
+}
+
+// BenchmarkBroadcastDense measures one full broadcast — receiver lookup,
+// reception scheduling, and delivery — at growing node counts for the naive
+// scan versus the grid index. This is the medium's hot path: the grid entry
+// must stay ≥5× below the naive scan at N=1000 (see docs/PERFORMANCE.md for
+// recorded numbers).
+func BenchmarkBroadcastDense(b *testing.B) {
+	payload := make([]byte, 256)
+	for _, impl := range []struct {
+		name string
+		mode IndexMode
+	}{
+		{"naive", IndexNaive},
+		{"grid", IndexGrid},
+	} {
+		for _, n := range []int{50, 250, 1000} {
+			b.Run(fmt.Sprintf("%s/N=%d", impl.name, n), func(b *testing.B) {
+				k, m := benchWorld(n, impl.mode)
+				radios := m.Radios()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Broadcast(radios[i%n], payload)
+					k.Run(0)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNeighborsDense isolates the pure lookup (no event scheduling).
+func BenchmarkNeighborsDense(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		mode IndexMode
+	}{
+		{"naive", IndexNaive},
+		{"grid", IndexGrid},
+	} {
+		for _, n := range []int{50, 1000} {
+			b.Run(fmt.Sprintf("%s/N=%d", impl.name, n), func(b *testing.B) {
+				_, m := benchWorld(n, impl.mode)
+				radios := m.Radios()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Neighbors(radios[i%n])
+				}
+			})
+		}
+	}
+}

@@ -6,10 +6,21 @@
 // The paper's evaluation (Section VI-B) uses IEEE 802.11b at 2.4 GHz with an
 // 11 Mbps data rate, a 10% loss rate, and WiFi ranges swept from 20 m to
 // 100 m; those are the defaults here.
+//
+// Receiver lookup is indexed: the medium keeps every radio bucketed in a
+// geo.Grid (cell edge = radio range) so a broadcast touches only the radios
+// near the sender instead of scanning all of them. The brute-force scan is
+// retained as IndexNaive, and both implementations are byte-identical by
+// construction — same candidate set, same ascending-ID iteration order, so
+// the same events and RNG draws in the same order. The golden-trace suite
+// (internal/experiment and TestGridMatchesNaiveTrace here) enforces it. See
+// docs/PERFORMANCE.md.
 package phy
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 
 	"dapes/internal/geo"
@@ -29,6 +40,38 @@ type Frame struct {
 // Handler consumes frames successfully received by a radio.
 type Handler func(Frame)
 
+// IndexMode selects how the medium finds the radios in range of a sender.
+type IndexMode int32
+
+const (
+	// IndexDefault resolves to the package default (see SetDefaultIndex).
+	IndexDefault IndexMode = iota
+	// IndexGrid finds receivers through a uniform spatial hash grid; a
+	// broadcast's cost scales with the radios actually near the sender.
+	IndexGrid
+	// IndexNaive scans every attached radio per operation. It is the
+	// reference implementation the grid must reproduce byte-for-byte, kept
+	// for the golden-trace equivalence suite and old-vs-new benchmarks.
+	IndexNaive
+)
+
+// defaultIndex is the mode used when Config.Index is IndexDefault. Atomic so
+// the golden-trace suite can flip it while parallel trial workers construct
+// mediums; because both modes are byte-identical, a concurrent flip changes
+// no result.
+var defaultIndex atomic.Int32
+
+func init() { defaultIndex.Store(int32(IndexGrid)) }
+
+// SetDefaultIndex sets the mode used by mediums constructed with
+// Config.Index == IndexDefault and returns the previous default. Both modes
+// produce byte-identical simulations (enforced by the golden-trace suite);
+// the knob exists so equivalence tests and benchmarks can select the naive
+// reference implementation.
+func SetDefaultIndex(m IndexMode) IndexMode {
+	return IndexMode(defaultIndex.Swap(int32(m)))
+}
+
 // Config parameterizes the medium.
 type Config struct {
 	// Range is the transmission range in meters. Paper sweeps 20–100.
@@ -44,6 +87,10 @@ type Config struct {
 	HeaderBytes int
 	// PropagationDelay is the fixed propagation latency. Default 1 µs.
 	PropagationDelay time.Duration
+	// Index selects the receiver-lookup implementation; IndexDefault uses
+	// the package default (the spatial grid). The choice never changes any
+	// simulation result, only how fast the medium finds receivers.
+	Index IndexMode
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PropagationDelay == 0 {
 		c.PropagationDelay = time.Microsecond
+	}
+	if c.Index == IndexDefault {
+		c.Index = IndexMode(defaultIndex.Load())
 	}
 	return c
 }
@@ -78,9 +128,13 @@ type Stats struct {
 }
 
 // reception tracks one in-flight frame at one receiver for collision checks.
+// Records are pooled on the medium; retained marks records a sender-side
+// notify closure still reads after completion, deferring their release to
+// the notify event.
 type reception struct {
 	start, end time.Duration
 	collided   bool
+	retained   bool
 }
 
 // Radio is one node's attachment to the medium.
@@ -90,6 +144,15 @@ type Radio struct {
 	mobility geo.Mobility
 	handler  Handler
 	enabled  bool
+
+	// pos caches the radio's position for the medium's current cache
+	// generation, so each position is computed at most once per distinct
+	// virtual timestamp no matter how many broadcasts probe it.
+	pos    geo.Point
+	posGen uint64
+	// maxSpeed bounds the mobility model's speed (+Inf when unknown); the
+	// grid index uses it to decide how long a cell assignment stays valid.
+	maxSpeed float64
 
 	// inFlight holds receptions that have not yet completed delivery.
 	inFlight []*reception
@@ -111,7 +174,7 @@ func (r *Radio) ID() int { return r.id }
 
 // Position returns the radio's position at the current virtual time.
 func (r *Radio) Position() geo.Point {
-	return r.mobility.PositionAt(r.medium.kernel.Now())
+	return r.medium.positionOf(r)
 }
 
 // SetHandler installs the receive callback. It must be set before frames
@@ -135,11 +198,43 @@ type Medium struct {
 	cfg    Config
 	radios []*Radio
 	stats  Stats
+
+	// Position cache generation: bumped whenever the virtual clock has
+	// moved since the last position lookup. Radios tag their cached
+	// position with the generation they computed it at.
+	posGen uint64
+	posNow time.Duration
+
+	// Spatial index (IndexGrid; nil under IndexNaive). Cells are one radio
+	// range wide. Mobile radios are re-bucketed only when they may have
+	// drifted more than slack meters since lastSync; every query widens its
+	// radius by slack, so the candidate set is always a superset of the
+	// radios truly in range and the exact-distance filter below decides
+	// membership — identically to the naive scan.
+	grid         *geo.Grid
+	slack        float64
+	lastSync     time.Duration
+	maxSpeed     float64  // fastest finite-speed mobile radio
+	mobile       []*Radio // radios with 0 < maxSpeed < +Inf
+	unbounded    []*Radio // no speed bound: re-bucket every new timestamp
+	unboundedGen uint64
+
+	// Scratch buffers and free-lists for the broadcast hot path.
+	candIDs     []int
+	cand        []*Radio
+	recFree     []*reception
+	recListFree [][]*reception
 }
 
 // NewMedium creates a medium over the given simulation kernel.
 func NewMedium(kernel *sim.Kernel, cfg Config) *Medium {
-	return &Medium{kernel: kernel, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	m := &Medium{kernel: kernel, cfg: cfg}
+	if cfg.Index == IndexGrid {
+		m.grid = geo.NewGrid(cfg.Range)
+		m.slack = cfg.Range / 2
+	}
+	return m
 }
 
 // Config returns the medium's effective (defaulted) configuration.
@@ -155,8 +250,23 @@ func (m *Medium) Attach(mobility geo.Mobility) *Radio {
 		medium:   m,
 		mobility: mobility,
 		enabled:  true,
+		maxSpeed: geo.MaxSpeedOf(mobility),
 	}
 	m.radios = append(m.radios, r)
+	if m.grid != nil {
+		m.grid.Insert(r.id, m.positionOf(r))
+		switch {
+		case r.maxSpeed == 0:
+			// Never moves; its cell assignment is permanent.
+		case math.IsInf(r.maxSpeed, 1):
+			m.unbounded = append(m.unbounded, r)
+		default:
+			m.mobile = append(m.mobile, r)
+			if r.maxSpeed > m.maxSpeed {
+				m.maxSpeed = r.maxSpeed
+			}
+		}
+	}
 	return r
 }
 
@@ -170,25 +280,134 @@ func (m *Medium) TxDuration(n int) time.Duration {
 	return time.Duration(bits / m.cfg.DataRateBps * float64(time.Second))
 }
 
+// clockGen bumps the position-cache generation when the virtual clock has
+// advanced since the last lookup and returns the current generation.
+func (m *Medium) clockGen() uint64 {
+	if now := m.kernel.Now(); m.posGen == 0 || now != m.posNow {
+		m.posNow = now
+		m.posGen++
+	}
+	return m.posGen
+}
+
+// positionOf returns r's position at the current virtual time, computing it
+// at most once per radio per distinct timestamp. Mobility models are pure
+// functions of time, so caching cannot change any result.
+func (m *Medium) positionOf(r *Radio) geo.Point {
+	gen := m.clockGen()
+	if r.posGen != gen {
+		r.pos = r.mobility.PositionAt(m.posNow)
+		r.posGen = gen
+	}
+	return r.pos
+}
+
 // InRange reports whether radios a and b are currently within transmission
 // range of each other.
 func (m *Medium) InRange(a, b *Radio) bool {
-	return a.Position().Distance(b.Position()) <= m.cfg.Range
+	return m.positionOf(a).Distance(m.positionOf(b)) <= m.cfg.Range
+}
+
+// syncGrid re-buckets radios whose grid cell may be stale before a query at
+// the current time. A mobile radio moves at most maxSpeed, so cells stay
+// usable until maxSpeed·(now−lastSync) exceeds the slack queries widen by;
+// radios without a finite speed bound re-bucket whenever the clock moved.
+func (m *Medium) syncGrid() {
+	gen := m.clockGen()
+	if len(m.unbounded) > 0 && m.unboundedGen != gen {
+		for _, r := range m.unbounded {
+			m.grid.Move(r.id, m.positionOf(r))
+		}
+		m.unboundedGen = gen
+	}
+	if m.maxSpeed > 0 && m.maxSpeed*(m.posNow-m.lastSync).Seconds() > m.slack {
+		for _, r := range m.mobile {
+			m.grid.Move(r.id, m.positionOf(r))
+		}
+		m.lastSync = m.posNow
+	}
+}
+
+// candidatesInRange returns the enabled radios currently within range of
+// sender (excluding sender itself) in ascending ID order — exactly the set
+// and order the naive full scan produces, so both index modes schedule
+// identical receptions and draw the kernel RNG identically. The returned
+// slice is scratch owned by the medium, valid until the next call.
+func (m *Medium) candidatesInRange(sender *Radio) []*Radio {
+	m.cand = m.cand[:0]
+	if m.grid == nil {
+		for _, rx := range m.radios {
+			if rx == sender || !rx.enabled {
+				continue
+			}
+			if m.InRange(sender, rx) {
+				m.cand = append(m.cand, rx)
+			}
+		}
+		return m.cand
+	}
+	m.syncGrid()
+	center := m.positionOf(sender)
+	m.candIDs = m.grid.QueryRange(center, m.cfg.Range+m.slack, m.candIDs[:0])
+	for _, id := range m.candIDs {
+		rx := m.radios[id]
+		if rx == sender || !rx.enabled {
+			continue
+		}
+		// Same float expression as InRange, so the grid can never disagree
+		// with the scan on a boundary case.
+		if center.Distance(m.positionOf(rx)) <= m.cfg.Range {
+			m.cand = append(m.cand, rx)
+		}
+	}
+	return m.cand
 }
 
 // Neighbors returns the IDs of enabled radios currently within range of r
-// (excluding r itself).
+// (excluding r itself), in ascending ID order.
 func (m *Medium) Neighbors(r *Radio) []int {
 	var out []int
-	for _, other := range m.radios {
-		if other == r || !other.enabled {
-			continue
-		}
-		if m.InRange(r, other) {
-			out = append(out, other.id)
-		}
+	for _, rx := range m.candidatesInRange(r) {
+		out = append(out, rx.id)
 	}
 	return out
+}
+
+// newReception takes a record from the pool (or allocates one).
+func (m *Medium) newReception(start, end time.Duration, retained bool) *reception {
+	if n := len(m.recFree); n > 0 {
+		rec := m.recFree[n-1]
+		m.recFree[n-1] = nil
+		m.recFree = m.recFree[:n-1]
+		*rec = reception{start: start, end: end, retained: retained}
+		return rec
+	}
+	return &reception{start: start, end: end, retained: retained}
+}
+
+func (m *Medium) freeReception(rec *reception) {
+	m.recFree = append(m.recFree, rec)
+}
+
+// newRecList takes a per-broadcast reception slice from the pool.
+func (m *Medium) newRecList() []*reception {
+	if n := len(m.recListFree); n > 0 {
+		l := m.recListFree[n-1]
+		m.recListFree[n-1] = nil
+		m.recListFree = m.recListFree[:n-1]
+		return l
+	}
+	return nil
+}
+
+func (m *Medium) freeRecList(l []*reception) {
+	if cap(l) == 0 {
+		return
+	}
+	for i := range l {
+		l[i] = nil
+	}
+	m.recListFree = append(m.recListFree, l[:0])
 }
 
 // Broadcast transmits payload from radio r. Delivery is scheduled for every
@@ -220,8 +439,18 @@ func (m *Medium) BroadcastNotify(r *Radio, payload []byte, notify func(collided 
 	end := start + dur + m.cfg.PropagationDelay
 
 	// Half-duplex: remember our own airtime and garble receptions that
-	// overlap it (a transmitting radio cannot hear).
-	r.txWindows = append(r.txWindows, txWindow{start: start, end: end})
+	// overlap it (a transmitting radio cannot hear). Windows that ended
+	// before this transmission can never overlap a reception again (they
+	// all start at now or later), so they are pruned on every send —
+	// without this, a radio that only ever transmits grows its window list
+	// without bound.
+	keptTx := r.txWindows[:0]
+	for _, w := range r.txWindows {
+		if w.end >= start {
+			keptTx = append(keptTx, w)
+		}
+	}
+	r.txWindows = append(keptTx, txWindow{start: start, end: end})
 	for _, rec := range r.inFlight {
 		if rec.start < end && start < rec.end {
 			rec.collided = true
@@ -230,14 +459,11 @@ func (m *Medium) BroadcastNotify(r *Radio, payload []byte, notify func(collided 
 
 	frame := Frame{From: r.id, Payload: payload, Size: size}
 	var receptions []*reception
-	for _, rx := range m.radios {
-		if rx == r || !rx.enabled {
-			continue
-		}
-		if !m.InRange(r, rx) {
-			continue
-		}
-		rec := &reception{start: start, end: end}
+	if notify != nil {
+		receptions = m.newRecList()
+	}
+	for _, rx := range m.candidatesInRange(r) {
+		rec := m.newReception(start, end, notify != nil)
 		// Overlap with any in-flight reception garbles both.
 		for _, other := range rx.inFlight {
 			if rec.start < other.end && other.start < rec.end {
@@ -257,21 +483,28 @@ func (m *Medium) BroadcastNotify(r *Radio, payload []byte, notify func(collided 
 		}
 		rx.txWindows = kept
 		rx.inFlight = append(rx.inFlight, rec)
-		receptions = append(receptions, rec)
+		if notify != nil {
+			receptions = append(receptions, rec)
+		}
 		rx := rx
-		m.kernel.ScheduleAt(end, func() {
+		m.kernel.ScheduleFuncAt(end, func() {
 			m.complete(rx, rec, frame)
 		})
 	}
 	if notify != nil {
-		m.kernel.ScheduleAt(end, func() {
+		m.kernel.ScheduleFuncAt(end, func() {
+			// This event carries the same seq ordering as before pooling:
+			// it fires after every completion above, so each record's final
+			// collided state is visible; the records are released here.
+			collided := false
 			for _, rec := range receptions {
 				if rec.collided {
-					notify(true)
-					return
+					collided = true
 				}
+				m.freeReception(rec)
 			}
-			notify(false)
+			m.freeRecList(receptions)
+			notify(collided)
 		})
 	}
 }
@@ -285,10 +518,16 @@ func (m *Medium) complete(rx *Radio, rec *reception, frame Frame) {
 			break
 		}
 	}
+	collided := rec.collided
+	if !rec.retained {
+		// No notify closure reads this record later; recycle it now so a
+		// broadcast triggered by the handler below can reuse it.
+		m.freeReception(rec)
+	}
 	if !rx.enabled {
 		return
 	}
-	if rec.collided {
+	if collided {
 		m.stats.Collisions++
 		return
 	}

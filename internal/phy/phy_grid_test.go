@@ -1,0 +1,223 @@
+package phy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dapes/internal/geo"
+	"dapes/internal/sim"
+)
+
+// TestTxWindowsStayBounded is the regression test for the unbounded
+// txWindows growth bug: a radio that only ever transmits (no receptions to
+// trigger receiver-side pruning) must prune its own expired windows on every
+// send rather than accumulating one per broadcast forever.
+func TestTxWindowsStayBounded(t *testing.T) {
+	t.Parallel()
+	for _, mode := range []IndexMode{IndexNaive, IndexGrid} {
+		k := sim.NewKernel(1)
+		m := NewMedium(k, Config{Range: 50, Index: mode})
+		// Alone on the medium: nothing ever transmits to it.
+		a := m.Attach(geo.Stationary{At: geo.Point{}})
+
+		const sends = 10000
+		payload := make([]byte, 100)
+		gap := m.TxDuration(len(payload)) + time.Millisecond
+		maxLen := 0
+		for i := 0; i < sends; i++ {
+			k.ScheduleAt(time.Duration(i)*gap, func() {
+				m.Broadcast(a, payload)
+				if len(a.txWindows) > maxLen {
+					maxLen = len(a.txWindows)
+				}
+			})
+		}
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if a.Sent != sends {
+			t.Fatalf("mode %d: Sent = %d, want %d", mode, a.Sent, sends)
+		}
+		// Sends are spaced past their own airtime, so at most the current
+		// window (plus possibly the immediately preceding one) may be live.
+		if maxLen > 2 {
+			t.Fatalf("mode %d: txWindows grew to %d entries over %d sends, want <= 2",
+				mode, maxLen, sends)
+		}
+	}
+}
+
+// traceWorld drives one randomized workload — mixed mobility, loss,
+// overlapping broadcasts, sender-side notify — and records everything
+// observable: every delivery (receiver, sender, time, first payload byte),
+// every notify outcome, the final Stats, and per-radio counters.
+type traceResult struct {
+	Deliveries []string
+	Notifies   []string
+	Stats      Stats
+	Sent       []uint64
+	Received   []uint64
+	Neighbors  [][]int
+}
+
+func runTrace(mode IndexMode, seed int64) traceResult {
+	k := sim.NewKernel(seed)
+	m := NewMedium(k, Config{Range: 60, LossRate: 0.2, Index: mode})
+	area := geo.Rect{Width: 400, Height: 400}
+	prng := rand.New(rand.NewSource(seed * 13))
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		var mob geo.Mobility
+		switch i % 3 {
+		case 0:
+			mob = geo.Stationary{At: geo.Point{X: prng.Float64() * 400, Y: prng.Float64() * 400}}
+		case 1:
+			mob = geo.NewRandomDirection(geo.RandomDirectionConfig{
+				Area:  area,
+				Start: geo.Point{X: prng.Float64() * 400, Y: prng.Float64() * 400},
+				RNG:   rand.New(rand.NewSource(prng.Int63())),
+			})
+		default:
+			start := geo.Point{X: prng.Float64() * 400, Y: prng.Float64() * 400}
+			mob = geo.NewScripted([]geo.Waypoint{
+				{At: 0, Pos: start},
+				{At: 2 * time.Minute, Pos: geo.Point{X: prng.Float64() * 400, Y: prng.Float64() * 400}},
+				{At: 4 * time.Minute, Pos: start},
+			})
+		}
+		m.Attach(mob)
+	}
+
+	var res traceResult
+	radios := m.Radios()
+	for _, r := range radios {
+		r := r
+		r.SetHandler(func(f Frame) {
+			res.Deliveries = append(res.Deliveries,
+				fmt.Sprintf("%v %d->%d %d", k.Now(), f.From, r.ID(), f.Payload[0]))
+		})
+	}
+	// One radio churns on and off to exercise the enabled filter.
+	churn := radios[4]
+	for s := 10 * time.Second; s < 4*time.Minute; s += 20 * time.Second {
+		s := s
+		k.ScheduleAt(s, func() { churn.SetEnabled(!churn.Enabled()) })
+	}
+
+	for i := 0; i < 600; i++ {
+		at := time.Duration(prng.Int63n(int64(4 * time.Minute)))
+		sender := radios[prng.Intn(n)]
+		payload := []byte{byte(i), byte(i >> 8), 0, 0}
+		if i%4 == 0 {
+			i := i
+			k.ScheduleAt(at, func() {
+				m.BroadcastNotify(sender, payload, func(collided bool) {
+					res.Notifies = append(res.Notifies,
+						fmt.Sprintf("%v tx%d from=%d collided=%v", k.Now(), i, sender.ID(), collided))
+				})
+			})
+		} else {
+			k.ScheduleAt(at, func() { m.Broadcast(sender, payload) })
+		}
+		if i%50 == 0 {
+			k.ScheduleAt(at, func() {
+				res.Neighbors = append(res.Neighbors, m.Neighbors(sender))
+			})
+		}
+	}
+	if err := k.Run(0); err != nil {
+		panic(err)
+	}
+	res.Stats = m.Stats()
+	for _, r := range radios {
+		res.Sent = append(res.Sent, r.Sent)
+		res.Received = append(res.Received, r.Received)
+	}
+	return res
+}
+
+// TestGridMatchesNaiveTrace is the phy-level golden-trace check: the grid
+// index must reproduce the naive scan's full observable behavior — every
+// delivery at the same virtual time in the same order, every notify
+// verdict, every stat counter — across randomized workloads with mixed
+// mobility, loss, collisions, and churn.
+func TestGridMatchesNaiveTrace(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 5; seed++ {
+		naive := runTrace(IndexNaive, seed)
+		grid := runTrace(IndexGrid, seed)
+		if naive.Stats != grid.Stats {
+			t.Fatalf("seed %d: stats diverged\nnaive: %+v\ngrid:  %+v", seed, naive.Stats, grid.Stats)
+		}
+		if !reflect.DeepEqual(naive, grid) {
+			for i := range naive.Deliveries {
+				if i >= len(grid.Deliveries) || naive.Deliveries[i] != grid.Deliveries[i] {
+					t.Fatalf("seed %d: delivery %d diverged: naive=%q grid=%q",
+						seed, i, naive.Deliveries[i], grid.Deliveries[safeIdx(i, len(grid.Deliveries))])
+				}
+			}
+			t.Fatalf("seed %d: traces diverged beyond deliveries\nnaive: %+v\ngrid:  %+v",
+				seed, naive, grid)
+		}
+		if naive.Stats.Deliveries == 0 {
+			t.Fatalf("seed %d: degenerate trace delivered nothing", seed)
+		}
+	}
+}
+
+func safeIdx(i, n int) int {
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// TestNeighborsGridMatchesNaive pins the documented ID ordering on both
+// implementations, including radios sitting exactly on the range boundary.
+func TestNeighborsGridMatchesNaive(t *testing.T) {
+	t.Parallel()
+	build := func(mode IndexMode) *Medium {
+		m := NewMedium(sim.NewKernel(1), Config{Range: 50, Index: mode})
+		m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
+		m.Attach(geo.Stationary{At: geo.Point{X: 50, Y: 0}})   // exactly on the boundary
+		m.Attach(geo.Stationary{At: geo.Point{X: 50.1, Y: 0}}) // just past it
+		m.Attach(geo.Stationary{At: geo.Point{X: -30, Y: 0}})
+		return m
+	}
+	naive, grid := build(IndexNaive), build(IndexGrid)
+	for i := range naive.Radios() {
+		a := naive.Neighbors(naive.Radios()[i])
+		b := grid.Neighbors(grid.Radios()[i])
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Neighbors(%d): naive=%v grid=%v", i, a, b)
+		}
+	}
+	if got := grid.Neighbors(grid.Radios()[0]); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Neighbors(0) = %v, want [1 3] (boundary inclusive, ID order)", got)
+	}
+}
+
+// TestSetDefaultIndex checks the package-default knob used by the
+// golden-trace suite resolves through Config.withDefaults.
+func TestSetDefaultIndex(t *testing.T) {
+	prev := SetDefaultIndex(IndexNaive)
+	defer SetDefaultIndex(prev)
+	m := NewMedium(sim.NewKernel(1), Config{})
+	if m.Config().Index != IndexNaive {
+		t.Fatalf("Index = %d, want IndexNaive via package default", m.Config().Index)
+	}
+	SetDefaultIndex(IndexGrid)
+	m = NewMedium(sim.NewKernel(1), Config{})
+	if m.Config().Index != IndexGrid || m.grid == nil {
+		t.Fatal("grid default did not construct a grid index")
+	}
+	// An explicit Config.Index wins over the package default.
+	m = NewMedium(sim.NewKernel(1), Config{Index: IndexNaive})
+	if m.grid != nil {
+		t.Fatal("explicit IndexNaive still built a grid")
+	}
+}

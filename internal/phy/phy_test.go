@@ -15,6 +15,7 @@ func newTestMedium(t *testing.T, cfg Config) (*sim.Kernel, *Medium) {
 }
 
 func TestBroadcastDeliversInRange(t *testing.T) {
+	t.Parallel()
 	k, m := newTestMedium(t, Config{Range: 50})
 	a := m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
 	b := m.Attach(geo.Stationary{At: geo.Point{X: 30, Y: 0}})
@@ -38,6 +39,7 @@ func TestBroadcastDeliversInRange(t *testing.T) {
 }
 
 func TestSenderDoesNotHearItself(t *testing.T) {
+	t.Parallel()
 	k, m := newTestMedium(t, Config{Range: 50})
 	a := m.Attach(geo.Stationary{At: geo.Point{}})
 	a.SetHandler(func(Frame) { t.Error("sender received own frame") })
@@ -46,6 +48,7 @@ func TestSenderDoesNotHearItself(t *testing.T) {
 }
 
 func TestTxDurationScalesWithSize(t *testing.T) {
+	t.Parallel()
 	_, m := newTestMedium(t, Config{DataRateBps: 1e6, HeaderBytes: 0})
 	// 1 Mbps: 125 bytes = 1000 bits = 1 ms. HeaderBytes default kicks in when
 	// zero, so use explicit config below instead.
@@ -61,6 +64,7 @@ func TestTxDurationScalesWithSize(t *testing.T) {
 }
 
 func TestOverlappingTransmissionsCollide(t *testing.T) {
+	t.Parallel()
 	k, m := newTestMedium(t, Config{Range: 100, LossRate: 0})
 	a := m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
 	b := m.Attach(geo.Stationary{At: geo.Point{X: 50, Y: 0}})
@@ -87,6 +91,7 @@ func TestOverlappingTransmissionsCollide(t *testing.T) {
 }
 
 func TestHalfDuplexTransmitterCannotHear(t *testing.T) {
+	t.Parallel()
 	k, m := newTestMedium(t, Config{Range: 100, LossRate: 0})
 	a := m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
 	b := m.Attach(geo.Stationary{At: geo.Point{X: 50, Y: 0}})
@@ -109,6 +114,7 @@ func TestHalfDuplexTransmitterCannotHear(t *testing.T) {
 }
 
 func TestNonOverlappingTransmissionsBothDeliver(t *testing.T) {
+	t.Parallel()
 	k, m := newTestMedium(t, Config{Range: 100})
 	a := m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
 	b := m.Attach(geo.Stationary{At: geo.Point{X: 50, Y: 0}})
@@ -132,6 +138,7 @@ func TestNonOverlappingTransmissionsBothDeliver(t *testing.T) {
 }
 
 func TestCollisionOnlyAtSharedReceiver(t *testing.T) {
+	t.Parallel()
 	// a and b transmit simultaneously; rxA hears only a, rxB hears only b.
 	// Neither reception collides.
 	k, m := newTestMedium(t, Config{Range: 40})
@@ -154,6 +161,7 @@ func TestCollisionOnlyAtSharedReceiver(t *testing.T) {
 }
 
 func TestLossRateDropsFrames(t *testing.T) {
+	t.Parallel()
 	k, m := newTestMedium(t, Config{Range: 100, LossRate: 0.5})
 	a := m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
 	rx := m.Attach(geo.Stationary{At: geo.Point{X: 10, Y: 0}})
@@ -178,6 +186,7 @@ func TestLossRateDropsFrames(t *testing.T) {
 }
 
 func TestDisabledRadio(t *testing.T) {
+	t.Parallel()
 	k, m := newTestMedium(t, Config{Range: 100})
 	a := m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
 	rx := m.Attach(geo.Stationary{At: geo.Point{X: 10, Y: 0}})
@@ -196,6 +205,7 @@ func TestDisabledRadio(t *testing.T) {
 }
 
 func TestMobilityAffectsRange(t *testing.T) {
+	t.Parallel()
 	// rx walks away from a; early frames deliver, late frames do not.
 	k, m := newTestMedium(t, Config{Range: 50})
 	a := m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
@@ -216,6 +226,7 @@ func TestMobilityAffectsRange(t *testing.T) {
 }
 
 func TestNeighbors(t *testing.T) {
+	t.Parallel()
 	_, m := newTestMedium(t, Config{Range: 50})
 	a := m.Attach(geo.Stationary{At: geo.Point{X: 0, Y: 0}})
 	b := m.Attach(geo.Stationary{At: geo.Point{X: 30, Y: 0}})
@@ -236,6 +247,7 @@ func TestNeighbors(t *testing.T) {
 }
 
 func TestStatsString(t *testing.T) {
+	t.Parallel()
 	s := Stats{Transmissions: 1, Deliveries: 2, Collisions: 3, Lost: 4, BytesSent: 5}
 	if s.String() == "" {
 		t.Fatal("empty stats string")

@@ -14,6 +14,7 @@ import (
 )
 
 func TestRepoCollectsAndServes(t *testing.T) {
+	t.Parallel()
 	// Fig. 8b: C produces a collection near the repo; later A arrives and
 	// downloads it from the repo after C has left.
 	k := sim.NewKernel(31)
@@ -68,6 +69,7 @@ func TestRepoCollectsAndServes(t *testing.T) {
 }
 
 func TestRepoStop(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(32)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	r := New(k, medium, geo.Point{}, nil, nil, core.Config{}, ndn.ParseName("/x"))

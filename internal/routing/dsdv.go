@@ -2,6 +2,7 @@ package routing
 
 import (
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"dapes/internal/geo"
@@ -160,7 +161,15 @@ func (d *DSDV) encodeTable() []byte {
 	b = putU32(b, d.id)
 	b = putU32(b, 0)
 	b = putU32(b, d.ownSeq)
-	for dst, r := range d.table {
+	// Entries go out in sorted destination order so update frames are
+	// byte-identical run to run (map iteration order is randomized).
+	dsts := make([]int, 0, len(d.table))
+	for dst := range d.table {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	for _, dst := range dsts {
+		r := d.table[dst]
 		b = putU32(b, dst)
 		b = putU32(b, r.metric)
 		b = putU32(b, r.seq)

@@ -20,6 +20,7 @@ func chainDSDV(k *sim.Kernel, medium *phy.Medium, n int) []*DSDV {
 }
 
 func TestFrameRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := &frame{
 		Proto: protoData, Src: 3, Dst: 9, NextHop: 4, TTL: 7,
 		Route:   []int{3, 4, 9},
@@ -45,6 +46,7 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestBroadcastFrameNegativeAddresses(t *testing.T) {
+	t.Parallel()
 	f := &frame{Proto: protoDSDVUpdate, Src: 1, Dst: Broadcast, NextHop: Broadcast}
 	out, err := decodeFrame(f.encode())
 	if err != nil {
@@ -56,6 +58,7 @@ func TestBroadcastFrameNegativeAddresses(t *testing.T) {
 }
 
 func TestDSDVConvergesOnChain(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(41)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	nodes := chainDSDV(k, medium, 4)
@@ -75,6 +78,7 @@ func TestDSDVConvergesOnChain(t *testing.T) {
 }
 
 func TestDSDVDeliversMultiHop(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(42)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	nodes := chainDSDV(k, medium, 4)
@@ -102,6 +106,7 @@ func TestDSDVDeliversMultiHop(t *testing.T) {
 }
 
 func TestDSDVNoRouteReturnsFalse(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(43)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	a := NewDSDV(k, medium, geo.Stationary{}, DSDVConfig{})
@@ -112,6 +117,7 @@ func TestDSDVNoRouteReturnsFalse(t *testing.T) {
 }
 
 func TestDSDVGeneratesPeriodicOverhead(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(44)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	nodes := chainDSDV(k, medium, 2)
@@ -125,6 +131,7 @@ func TestDSDVGeneratesPeriodicOverhead(t *testing.T) {
 }
 
 func TestDSDVRoutesExpireWhenNeighborLeaves(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(45)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	a := NewDSDV(k, medium, geo.Stationary{}, DSDVConfig{})
@@ -155,6 +162,7 @@ func chainDSR(k *sim.Kernel, medium *phy.Medium, n int) []*DSR {
 }
 
 func TestDSRDiscoversAndDelivers(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(46)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	nodes := chainDSR(k, medium, 4)
@@ -185,6 +193,7 @@ func TestDSRDiscoversAndDelivers(t *testing.T) {
 }
 
 func TestDSRNoDiscoveryWhenRouteCached(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(47)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	nodes := chainDSR(k, medium, 3)
@@ -206,6 +215,7 @@ func TestDSRNoDiscoveryWhenRouteCached(t *testing.T) {
 }
 
 func TestDSRDiscoveryRetriesAndGivesUp(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(48)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	a := NewDSR(k, medium, geo.Stationary{}, DSRConfig{MaxDiscoveryRetries: 2})
@@ -223,6 +233,7 @@ func TestDSRDiscoveryRetriesAndGivesUp(t *testing.T) {
 }
 
 func TestDSRInvalidateRouteForcesRediscovery(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(49)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	nodes := chainDSR(k, medium, 2)
@@ -243,6 +254,7 @@ func TestDSRInvalidateRouteForcesRediscovery(t *testing.T) {
 }
 
 func TestDSRSendToSelf(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(50)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	a := NewDSR(k, medium, geo.Stationary{}, DSRConfig{})
@@ -256,6 +268,7 @@ func TestDSRSendToSelf(t *testing.T) {
 }
 
 func TestMixedStacksShareMedium(t *testing.T) {
+	t.Parallel()
 	// Routing frames and NDN packets coexist: a DSDV pair converges while
 	// the medium also carries non-routing payloads that must be ignored.
 	k := sim.NewKernel(51)

@@ -22,6 +22,7 @@ func full(n int) *bitmap.Bitmap {
 }
 
 func TestLocalNeighborhoodPicksRarest(t *testing.T) {
+	t.Parallel()
 	s := NewLocalNeighborhood(4, false, nil)
 	// Packet 3 is missing from all three neighbors; packet 1 from one.
 	s.Observe(1, mk(4, 0, 1, 2))
@@ -42,6 +43,7 @@ func TestLocalNeighborhoodPicksRarest(t *testing.T) {
 }
 
 func TestNextRequestRespectsOwnAvailableSkip(t *testing.T) {
+	t.Parallel()
 	s := NewLocalNeighborhood(4, false, nil)
 	s.Observe(1, mk(4))
 
@@ -61,6 +63,7 @@ func TestNextRequestRespectsOwnAvailableSkip(t *testing.T) {
 }
 
 func TestLocalNeighborhoodDisconnectExpiresState(t *testing.T) {
+	t.Parallel()
 	s := NewLocalNeighborhood(4, false, nil)
 	s.Observe(1, mk(4, 0))
 	s.Observe(2, mk(4, 0, 1))
@@ -78,6 +81,7 @@ func TestLocalNeighborhoodDisconnectExpiresState(t *testing.T) {
 }
 
 func TestObserveRejectsWrongSize(t *testing.T) {
+	t.Parallel()
 	s := NewLocalNeighborhood(4, false, nil)
 	s.Observe(1, mk(8, 0))
 	if s.NeighborCount() != 0 {
@@ -91,6 +95,7 @@ func TestObserveRejectsWrongSize(t *testing.T) {
 }
 
 func TestEncounterBasedRemembersDisconnectedPeers(t *testing.T) {
+	t.Parallel()
 	s := NewEncounterBased(4, 10, false, nil)
 	s.Observe(1, mk(4, 0, 1, 2)) // peer 1 misses only 3
 	s.Disconnect(1)              // walks away; history retained
@@ -104,6 +109,7 @@ func TestEncounterBasedRemembersDisconnectedPeers(t *testing.T) {
 }
 
 func TestEncounterBasedHistoryBound(t *testing.T) {
+	t.Parallel()
 	s := NewEncounterBased(4, 2, false, nil)
 	s.Observe(1, mk(4, 0))
 	s.Observe(2, mk(4, 1))
@@ -127,6 +133,7 @@ func TestEncounterBasedHistoryBound(t *testing.T) {
 }
 
 func TestEncounterHistoryMinimum(t *testing.T) {
+	t.Parallel()
 	s := NewEncounterBased(4, 0, false, nil)
 	s.Observe(1, mk(4, 0))
 	if s.HistoryLen() != 1 {
@@ -135,6 +142,7 @@ func TestEncounterHistoryMinimum(t *testing.T) {
 }
 
 func TestSamePacketStartIsDeterministicAscending(t *testing.T) {
+	t.Parallel()
 	// With no rarity signal (no neighbors observed, everything available),
 	// same-packet mode requests index 0 first — every peer starts identically.
 	s := NewLocalNeighborhood(8, false, nil)
@@ -144,6 +152,7 @@ func TestSamePacketStartIsDeterministicAscending(t *testing.T) {
 }
 
 func TestRandomStartDiversifiesFirstRequest(t *testing.T) {
+	t.Parallel()
 	firsts := make(map[int]bool)
 	for seed := int64(0); seed < 20; seed++ {
 		s := NewLocalNeighborhood(64, true, rand.New(rand.NewSource(seed)))
@@ -155,6 +164,7 @@ func TestRandomStartDiversifiesFirstRequest(t *testing.T) {
 }
 
 func TestRandomStartStillPrefersRarity(t *testing.T) {
+	t.Parallel()
 	s := NewLocalNeighborhood(8, true, rand.New(rand.NewSource(1)))
 	bm := full(8)
 	bm.Clear(5) // every neighbor misses packet 5 only
@@ -166,6 +176,7 @@ func TestRandomStartStillPrefersRarity(t *testing.T) {
 }
 
 func TestRequestPlanOrderedAndBounded(t *testing.T) {
+	t.Parallel()
 	s := NewLocalNeighborhood(6, false, nil)
 	s.Observe(1, mk(6, 0, 1))
 	plan := RequestPlan(s, mk(6), full(6), 3)
@@ -194,6 +205,7 @@ func TestRequestPlanOrderedAndBounded(t *testing.T) {
 }
 
 func TestSortByRarity(t *testing.T) {
+	t.Parallel()
 	counts := map[int]int{0: 1, 1: 3, 2: 3, 3: 0}
 	got := SortByRarity([]int{0, 1, 2, 3}, func(i int) int { return counts[i] })
 	want := []int{1, 2, 0, 3}
@@ -205,6 +217,7 @@ func TestSortByRarity(t *testing.T) {
 }
 
 func TestStrategyNames(t *testing.T) {
+	t.Parallel()
 	if NewLocalNeighborhood(1, false, nil).Name() != "local-neighborhood" {
 		t.Fatal("local name")
 	}

@@ -25,7 +25,11 @@ type Event struct {
 	seq      uint64
 	index    int
 	canceled bool
-	fn       func()
+	// pooled marks events created by ScheduleFunc/ScheduleFuncAt: no handle
+	// escapes to the caller, so the kernel recycles the Event through its
+	// free-list once it fires.
+	pooled bool
+	fn     func()
 }
 
 // Time returns the virtual time at which the event fires.
@@ -83,6 +87,9 @@ type Kernel struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+	// free recycles fired pooled events so hot paths that schedule one
+	// event per packet (phy frame deliveries) do not allocate per call.
+	free []*Event
 }
 
 // NewKernel returns a kernel whose random stream is seeded with seed.
@@ -127,6 +134,36 @@ func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Event {
 	return ev
 }
 
+// ScheduleFunc enqueues fn to run after delay like Schedule, but returns no
+// cancel handle: the event cannot be canceled, which is what lets the kernel
+// recycle it through an internal free-list after it fires. Hot paths that
+// schedule one event per packet and never cancel (e.g. phy frame
+// deliveries) use this to avoid allocating an Event per call.
+func (k *Kernel) ScheduleFunc(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.ScheduleFuncAt(k.now+delay, fn)
+}
+
+// ScheduleFuncAt is ScheduleAt without a cancel handle; see ScheduleFunc.
+func (k *Kernel) ScheduleFuncAt(at time.Duration, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	var ev *Event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*ev = Event{at: at, seq: k.seq, pooled: true, fn: fn}
+	} else {
+		ev = &Event{at: at, seq: k.seq, pooled: true, fn: fn}
+	}
+	heap.Push(&k.queue, ev)
+}
+
 // Stop halts the simulation: Run returns ErrStopped after the current event
 // completes.
 func (k *Kernel) Stop() { k.stopped = true }
@@ -144,7 +181,14 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = ev.at
 		k.fired++
-		ev.fn()
+		fn := ev.fn
+		if ev.pooled {
+			// Recycle before running fn: the callback may itself schedule
+			// pooled events and reuse this record immediately.
+			ev.fn = nil
+			k.free = append(k.free, ev)
+		}
+		fn()
 		return true
 	}
 	return false

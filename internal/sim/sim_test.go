@@ -7,6 +7,7 @@ import (
 )
 
 func TestKernelRunsEventsInOrder(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	var order []int
 	k.Schedule(3*time.Second, func() { order = append(order, 3) })
@@ -27,6 +28,7 @@ func TestKernelRunsEventsInOrder(t *testing.T) {
 }
 
 func TestKernelFIFOAmongEqualTimestamps(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	var order []int
 	for i := 0; i < 10; i++ {
@@ -44,6 +46,7 @@ func TestKernelFIFOAmongEqualTimestamps(t *testing.T) {
 }
 
 func TestKernelCancel(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	fired := false
 	ev := k.Schedule(time.Second, func() { fired = true })
@@ -60,6 +63,7 @@ func TestKernelCancel(t *testing.T) {
 }
 
 func TestKernelHorizonStopsClock(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	fired := false
 	k.Schedule(10*time.Second, func() { fired = true })
@@ -75,6 +79,7 @@ func TestKernelHorizonStopsClock(t *testing.T) {
 }
 
 func TestKernelStop(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	count := 0
 	k.Schedule(time.Second, func() { count++; k.Stop() })
@@ -88,6 +93,7 @@ func TestKernelStop(t *testing.T) {
 }
 
 func TestKernelScheduleInsideEvent(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	var times []time.Duration
 	k.Schedule(time.Second, func() {
@@ -103,6 +109,7 @@ func TestKernelScheduleInsideEvent(t *testing.T) {
 }
 
 func TestKernelNegativeDelayClamped(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	fired := false
 	k.Schedule(-time.Second, func() { fired = true })
@@ -116,6 +123,7 @@ func TestKernelNegativeDelayClamped(t *testing.T) {
 }
 
 func TestKernelRunUntil(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	count := 0
 	for i := 1; i <= 10; i++ {
@@ -134,6 +142,7 @@ func TestKernelRunUntil(t *testing.T) {
 }
 
 func TestKernelDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func(seed int64) []int64 {
 		k := NewKernel(seed)
 		var vals []int64
@@ -156,6 +165,7 @@ func TestKernelDeterminism(t *testing.T) {
 }
 
 func TestUniform(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(7)
 	for i := 0; i < 1000; i++ {
 		d := k.Uniform(time.Second, 2*time.Second)
@@ -169,6 +179,7 @@ func TestUniform(t *testing.T) {
 }
 
 func TestJitterZero(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(7)
 	if got := k.Jitter(0); got != 0 {
 		t.Fatalf("Jitter(0) = %v, want 0", got)
@@ -179,6 +190,7 @@ func TestJitterZero(t *testing.T) {
 }
 
 func TestEventTimeMonotonicProperty(t *testing.T) {
+	t.Parallel()
 	// Property: regardless of the scheduling pattern, observed event times
 	// are non-decreasing.
 	f := func(delays []uint16) bool {
@@ -199,5 +211,60 @@ func TestEventTimeMonotonicProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestScheduleFuncOrderingMatchesSchedule(t *testing.T) {
+	t.Parallel()
+	k := NewKernel(1)
+	var order []int
+	k.Schedule(time.Second, func() { order = append(order, 1) })
+	k.ScheduleFunc(time.Second, func() { order = append(order, 2) }) // FIFO tie-break
+	k.ScheduleFuncAt(500*time.Millisecond, func() { order = append(order, 0) })
+	k.ScheduleFunc(-time.Second, func() { order = append(order, -1) }) // clamped to now
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{-1, 0, 1, 2}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleFuncRecyclesEvents(t *testing.T) {
+	t.Parallel()
+	k := NewKernel(1)
+	// A chain of pooled events: each firing returns its Event to the free
+	// list, so the whole chain should cycle through O(1) records.
+	const hops = 1000
+	n := 0
+	var hop func()
+	hop = func() {
+		n++
+		if n < hops {
+			k.ScheduleFunc(time.Millisecond, hop)
+		}
+	}
+	k.ScheduleFunc(0, hop)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n != hops {
+		t.Fatalf("fired %d hops, want %d", n, hops)
+	}
+	if len(k.free) != 1 {
+		t.Fatalf("free list holds %d events after a serial chain, want 1", len(k.free))
+	}
+
+	// Pooled and cancelable events interleave without disturbing each other.
+	ran := 0
+	ev := k.Schedule(time.Second, func() { ran += 100 })
+	k.ScheduleFunc(time.Second, func() { ran++ })
+	ev.Cancel()
+	k.Run(0)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want only the pooled event (canceled handle skipped)", ran)
 	}
 }

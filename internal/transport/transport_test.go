@@ -20,6 +20,7 @@ func dsdvPair(k *sim.Kernel, lossRate float64) (*routing.DSDV, *routing.DSDV) {
 }
 
 func TestReliableDelivery(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(61)
 	a, b := dsdvPair(k, 0)
 	ra := NewReliable(k, a, Config{})
@@ -44,6 +45,7 @@ func TestReliableDelivery(t *testing.T) {
 }
 
 func TestReliableRetransmitsUnderLoss(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(62)
 	a, b := dsdvPair(k, 0.4)
 	ra := NewReliable(k, a, Config{RTO: 200 * time.Millisecond, MaxRetries: 10})
@@ -69,6 +71,7 @@ func TestReliableRetransmitsUnderLoss(t *testing.T) {
 }
 
 func TestReliableDuplicateSuppression(t *testing.T) {
+	t.Parallel()
 	// With heavy ack loss the sender retransmits, but the receiver must
 	// deliver each message exactly once.
 	k := sim.NewKernel(63)
@@ -86,6 +89,7 @@ func TestReliableDuplicateSuppression(t *testing.T) {
 }
 
 func TestReliableFailureAfterMaxRetries(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(64)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	a := routing.NewDSDV(k, medium, geo.Stationary{}, routing.DSDVConfig{})
@@ -106,6 +110,7 @@ func TestReliableFailureAfterMaxRetries(t *testing.T) {
 }
 
 func TestDatagramBestEffort(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(65)
 	a, b := dsdvPair(k, 0)
 	da := NewDatagram(a)
@@ -126,6 +131,7 @@ func TestDatagramBestEffort(t *testing.T) {
 }
 
 func TestReliableOverDSRInvalidatesRoutesOnFailure(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(66)
 	medium := phy.NewMedium(k, phy.Config{Range: 50})
 	a := routing.NewDSR(k, medium, geo.Stationary{}, routing.DSRConfig{})
