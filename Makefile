@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-nfd golden
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every benchmark in the tree, once each, so benches can't rot.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The forwarder-table benchmarks at measurement length: the name-tree
+# lookups must stay ≥5x below the seed implementations with 0 allocs/op
+# (docs/PERFORMANCE.md).
+bench-nfd:
+	$(GO) test -run=NONE -bench='BenchmarkCsPrefixFind|BenchmarkFibLookup' -benchmem -benchtime=300ms ./internal/nfd/
+
+# The determinism gates: grid==naive byte-identical for every registered
+# scenario, baselines identical across reruns, and the forwarder's
+# zero-alloc lookup contract.
+golden:
+	$(GO) test -run 'TestGoldenTraceGridMatchesNaive|TestBaselineTrialsDeterministic' -count=1 ./internal/experiment/
+	$(GO) test -run 'TestGridMatchesNaiveTrace' -count=1 ./internal/phy/
+	$(GO) test -run 'TestLookupPathsDoNotAllocate' -count=1 ./internal/nfd/

@@ -96,7 +96,12 @@ func NewPureForwarder(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, 
 		suppressed:     make(map[string]time.Duration),
 		pendingReplies: make(map[string]*sim.Event),
 	}
-	f.cs = nfd.NewContentStore(f.cfg.CsCapacity)
+	// The store shares the kernel clock so NDN freshness works here too: a
+	// MustBeFresh Interest is never answered from a cache entry whose
+	// FreshnessPeriod has lapsed (DAPES traffic never sets MustBeFresh, so
+	// simulation traces are unchanged — this matters for NDN-correct
+	// behavior when pure forwarders carry third-party traffic).
+	f.cs = nfd.NewContentStoreWithClock(f.cfg.CsCapacity, nfd.KernelClock{K: k})
 	f.radio = medium.Attach(mobility)
 	f.id = f.radio.ID()
 	f.radio.SetHandler(f.onFrame)

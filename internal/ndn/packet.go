@@ -17,6 +17,19 @@ func clampDurationMs(ms uint64) time.Duration {
 	return time.Duration(ms) * time.Millisecond
 }
 
+// freshnessMs converts a positive FreshnessPeriod to whole milliseconds
+// for the wire, rounding sub-millisecond values up to 1 ms: the TLV is
+// millisecond-granular, and encoding 500µs as 0 ms would silently turn a
+// fresh-able packet into one that can never satisfy MustBeFresh after a
+// single hop.
+func freshnessMs(d time.Duration) uint64 {
+	ms := uint64(d / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return ms
+}
+
 // ContentType values for Data packets.
 const (
 	// ContentTypeBlob is ordinary application payload.
@@ -147,7 +160,7 @@ func (d *Data) signedPortion() []byte {
 		meta = appendNonNegTLV(meta, tlvContentType, d.Type)
 	}
 	if d.Freshness > 0 {
-		meta = appendNonNegTLV(meta, tlvFreshnessPeriod, uint64(d.Freshness/time.Millisecond))
+		meta = appendNonNegTLV(meta, tlvFreshnessPeriod, freshnessMs(d.Freshness))
 	}
 	b = appendTLV(b, tlvMetaInfo, meta)
 	b = appendTLV(b, tlvContent, d.Content)

@@ -33,12 +33,26 @@ func FuzzTLVRoundTrip(f *testing.F) {
 	}
 	d.SignDigest()
 	f.Add(d.Encode())
+	stale := &Data{Name: ParseName("/field-report/no-freshness/0"), Content: []byte("p")}
+	stale.SignDigest() // no FreshnessPeriod: MetaInfo stays empty on the wire
+	f.Add(stale.Encode())
+	subMs := &Data{Name: ParseName("/f/0"), Freshness: 500 * time.Microsecond}
+	subMs.SignDigest() // sub-millisecond freshness must round up, not vanish
+	f.Add(subMs.Encode())
+	mbf := &Interest{Name: ParseName("/f"), MustBeFresh: true, Nonce: 1}
+	f.Add(mbf.Encode())
 	f.Add([]byte{})
 	f.Add([]byte{0x05})
 	f.Add([]byte{0x05, 0xFF})                                                  // truncated length
 	f.Add([]byte{0x06, 0x02, 0x07, 0x00})                                      // data with empty name
 	f.Add([]byte{253, 0, 1, 0})                                                // multi-byte type number
 	f.Add([]byte{0x05, 0x09, 0x07, 0x00, 0x0C, 0x08, 255, 255, 255, 255, 255}) // truncated lifetime
+	// Data whose MetaInfo carries a 9-octet FreshnessPeriod of 2^64−1 ms:
+	// exercises the clamp on the freshness path like the lifetime seed above.
+	var hugeMeta []byte
+	hugeMeta = encodeName(hugeMeta, ParseName("/x"))
+	hugeMeta = appendTLV(hugeMeta, tlvMetaInfo, appendNonNegTLV(nil, tlvFreshnessPeriod, math.MaxUint64))
+	f.Add(appendTLV(nil, tlvData, hugeMeta))
 
 	f.Fuzz(func(t *testing.T, wire []byte) {
 		if it, err := DecodeInterest(wire); err == nil {
@@ -62,6 +76,50 @@ func FuzzTLVRoundTrip(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestFreshnessPeriodRoundTrip pins the FreshnessPeriod wire semantics:
+// whole milliseconds survive exactly, fractional values floor to the
+// millisecond (matching the TLV's granularity), sub-millisecond values
+// round *up* to 1 ms rather than silently losing freshness, and zero means
+// the field is absent from the wire entirely.
+func TestFreshnessPeriodRoundTrip(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+	}{
+		{0, 0},
+		{time.Nanosecond, time.Millisecond},
+		{500 * time.Microsecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+		{1500 * time.Microsecond, time.Millisecond},
+		{time.Second, time.Second},
+		{10 * time.Second, 10 * time.Second},
+	}
+	for _, tc := range cases {
+		d := &Data{Name: ParseName("/f/0"), Freshness: tc.in}
+		d.SignDigest()
+		out, err := DecodeData(d.Encode())
+		if err != nil {
+			t.Fatalf("Freshness %v: %v", tc.in, err)
+		}
+		if out.Freshness != tc.want {
+			t.Errorf("Freshness %v round-tripped to %v, want %v", tc.in, out.Freshness, tc.want)
+		}
+		// Decoded packets must be a fixed point.
+		out2, err := DecodeData(out.Encode())
+		if err != nil || out2.Freshness != out.Freshness {
+			t.Errorf("Freshness %v not a fixed point: %v, %v", tc.in, out2.Freshness, err)
+		}
+	}
+	// MustBeFresh survives the Interest round trip alone (without
+	// CanBePrefix, unlike the seed corpus packet that sets both).
+	it := &Interest{Name: ParseName("/f"), MustBeFresh: true, Nonce: 7}
+	out, err := DecodeInterest(it.Encode())
+	if err != nil || !out.MustBeFresh || out.CanBePrefix {
+		t.Fatalf("MustBeFresh round trip: %+v, %v", out, err)
+	}
 }
 
 // TestAppendVarNumBoundaries pins the encoder's form-selection exactly at

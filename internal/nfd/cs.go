@@ -2,86 +2,180 @@ package nfd
 
 import (
 	"container/list"
+	"time"
 
 	"dapes/internal/ndn"
 )
 
-// ContentStore is an LRU cache of Data packets, looked up by exact name or —
-// for Interests with CanBePrefix — by name prefix.
+// ContentStore is an LRU cache of Data packets indexed through the shared
+// name tree: exact lookups descend the tree component-wise, and — for
+// Interests with CanBePrefix — prefix lookups walk the subtree under the
+// Interest name in ndn.Name.Compare order (lexicographic per component;
+// NDN's length-first component ordering is not used for DAPES's
+// human-readable labels), so the entry chosen among several candidates is
+// deterministic by construction.
+//
+// Entries carry NDN freshness: a packet is fresh until FreshnessPeriod
+// elapses after insertion (a packet with no FreshnessPeriod is never
+// fresh). Interests with MustBeFresh skip stale entries; Interests without
+// it are served from stale entries as the NDN spec allows. Stale entries
+// are not proactively erased — LRU eviction alone bounds the store.
 type ContentStore struct {
 	capacity int
-	order    *list.List               // front = most recent
-	byName   map[string]*list.Element // name URI -> element
+	tree     *NameTree
+	clock    Clock      // nil ⇒ the clock is pinned at 0 (nothing ever goes stale)
+	order    *list.List // front = most recent; values are *csEntry
+
+	hits       uint64
+	misses     uint64
+	staleSkips uint64
 }
 
 type csEntry struct {
-	name string
-	data *ndn.Data
+	node    *nameTreeNode
+	data    *ndn.Data
+	staleAt time.Duration // virtual time the entry stops being fresh
+	elem    *list.Element
 }
 
-// NewContentStore returns a store holding at most capacity packets.
-// A capacity of zero disables caching.
+// CsStats counts Content Store lookup outcomes.
+type CsStats struct {
+	Hits   uint64
+	Misses uint64
+	// StaleSkips counts entries passed over because the Interest set
+	// MustBeFresh and the entry's FreshnessPeriod had elapsed.
+	StaleSkips uint64
+}
+
+// NewContentStore returns a store holding at most capacity packets, with no
+// clock: entries never become stale, so MustBeFresh Interests match only
+// packets carrying a FreshnessPeriod. A capacity of zero disables caching.
 func NewContentStore(capacity int) *ContentStore {
+	return NewContentStoreWithClock(capacity, nil)
+}
+
+// NewContentStoreWithClock returns a store whose freshness decisions are
+// driven by clock.
+func NewContentStoreWithClock(capacity int, clock Clock) *ContentStore {
+	return newContentStoreOn(NewNameTree(), capacity, clock)
+}
+
+// newContentStoreOn mounts the store on an existing (possibly shared) tree.
+func newContentStoreOn(tree *NameTree, capacity int, clock Clock) *ContentStore {
 	return &ContentStore{
 		capacity: capacity,
+		tree:     tree,
+		clock:    clock,
 		order:    list.New(),
-		byName:   make(map[string]*list.Element, capacity),
 	}
+}
+
+func (c *ContentStore) now() time.Duration {
+	if c.clock == nil {
+		return 0
+	}
+	return c.clock.Now()
 }
 
 // Len returns the number of cached packets.
 func (c *ContentStore) Len() int { return c.order.Len() }
 
+// Stats returns a copy of the lookup counters.
+func (c *ContentStore) Stats() CsStats {
+	return CsStats{Hits: c.hits, Misses: c.misses, StaleSkips: c.staleSkips}
+}
+
+// staleAt computes when data inserted now stops being fresh. Data without a
+// FreshnessPeriod is stale immediately (NDN packet spec §Data).
+func staleAt(now time.Duration, data *ndn.Data) time.Duration {
+	if data.Freshness <= 0 {
+		return now
+	}
+	return now + data.Freshness
+}
+
 // Insert caches data, evicting the least recently used entry if full.
-// Re-inserting an existing name refreshes its recency and content.
+// Re-inserting an existing name refreshes its recency, content, and
+// freshness timer.
 func (c *ContentStore) Insert(data *ndn.Data) {
 	if c.capacity == 0 {
 		return
 	}
-	key := data.Name.String()
-	if el, ok := c.byName[key]; ok {
-		entry, isEntry := el.Value.(*csEntry)
-		if isEntry {
-			entry.data = data
-		}
-		c.order.MoveToFront(el)
+	node := c.tree.fill(data.Name)
+	if e := node.cs; e != nil {
+		e.data = data
+		e.staleAt = staleAt(c.now(), data)
+		c.order.MoveToFront(e.elem)
 		return
 	}
-	if c.order.Len() >= c.capacity {
-		oldest := c.order.Back()
-		if oldest != nil {
-			entry, isEntry := oldest.Value.(*csEntry)
-			if isEntry {
-				delete(c.byName, entry.name)
-			}
-			c.order.Remove(oldest)
+	// Attach before evicting: eviction prunes the evicted spine, and when
+	// the new name is a payload-free interior node on that spine, pruning
+	// first would detach the very node the entry is about to live on.
+	e := &csEntry{node: node, data: data, staleAt: staleAt(c.now(), data)}
+	e.elem = c.order.PushFront(e)
+	node.cs = e
+	if c.order.Len() > c.capacity {
+		if oldest := c.order.Back(); oldest != nil {
+			c.evict(oldest.Value.(*csEntry))
 		}
 	}
-	c.byName[key] = c.order.PushFront(&csEntry{name: key, data: data})
 }
 
-// Find returns a cached packet satisfying the Interest, or nil. Exact-name
-// match is attempted first; when the Interest allows prefix matching, any
-// cached packet under the prefix may satisfy it.
+func (c *ContentStore) evict(e *csEntry) {
+	c.order.Remove(e.elem)
+	e.node.cs = nil
+	c.tree.prune(e.node)
+}
+
+// Find returns a cached packet satisfying the Interest, or nil. The exact
+// node is tried first; when the Interest allows prefix matching, the
+// subtree under the Interest name is walked in canonical order and the
+// first acceptable entry wins. A hit refreshes LRU recency. The lookup
+// path performs no allocation.
 func (c *ContentStore) Find(interest *ndn.Interest) *ndn.Data {
-	if el, ok := c.byName[interest.Name.String()]; ok {
-		c.order.MoveToFront(el)
-		entry, isEntry := el.Value.(*csEntry)
-		if isEntry {
-			return entry.data
+	now := c.now()
+	node := c.tree.find(interest.Name)
+	if node != nil {
+		var e *csEntry
+		if interest.CanBePrefix {
+			e = c.findUnder(node, interest.MustBeFresh, now)
+		} else {
+			e = c.acceptable(node, interest.MustBeFresh, now)
+		}
+		if e != nil {
+			c.hits++
+			c.order.MoveToFront(e.elem)
+			return e.data
 		}
 	}
-	if !interest.CanBePrefix {
+	c.misses++
+	return nil
+}
+
+// acceptable returns the node's CS entry if it satisfies the freshness
+// constraint, counting stale skips.
+func (c *ContentStore) acceptable(n *nameTreeNode, mustBeFresh bool, now time.Duration) *csEntry {
+	e := n.cs
+	if e == nil {
 		return nil
 	}
-	for el := c.order.Front(); el != nil; el = el.Next() {
-		entry, isEntry := el.Value.(*csEntry)
-		if !isEntry {
-			continue
-		}
-		if interest.Name.IsPrefixOf(entry.data.Name) {
-			c.order.MoveToFront(el)
-			return entry.data
+	if mustBeFresh && e.staleAt <= now {
+		c.staleSkips++
+		return nil
+	}
+	return e
+}
+
+// findUnder walks the subtree rooted at n pre-order (parents before
+// children, children in sorted component order — i.e. ndn.Name.Compare
+// order) and returns the first acceptable entry.
+func (c *ContentStore) findUnder(n *nameTreeNode, mustBeFresh bool, now time.Duration) *csEntry {
+	if e := c.acceptable(n, mustBeFresh, now); e != nil {
+		return e
+	}
+	for _, child := range n.children {
+		if e := c.findUnder(child, mustBeFresh, now); e != nil {
+			return e
 		}
 	}
 	return nil

@@ -1,0 +1,83 @@
+package nfd
+
+import (
+	"time"
+
+	"dapes/internal/ndn"
+)
+
+// deadNonceList remembers (name, nonce) pairs whose PIT state is gone —
+// most importantly Interests answered straight from the Content Store,
+// which never create a PIT entry at all. Without it, a CS-satisfied
+// Interest that keeps looping is re-accepted forever once the cached entry
+// ages out (the bug this PR fixes); with it, the loop is dropped as a
+// duplicate. This mirrors NFD's Dead Nonce List: entries are keyed by a
+// 64-bit hash of name+nonce (a collision merely drops one extra Interest)
+// and expire after a fixed TTL.
+type deadNonceList struct {
+	clock   Clock
+	ttl     time.Duration
+	entries map[uint64]time.Duration // key -> expiry
+	sweepAt time.Duration
+}
+
+// deadNonceTTL follows NFD's default Dead Nonce List lifetime.
+const deadNonceTTL = 6 * time.Second
+
+func newDeadNonceList(clock Clock, ttl time.Duration) *deadNonceList {
+	if ttl <= 0 {
+		ttl = deadNonceTTL
+	}
+	return &deadNonceList{
+		clock:   clock,
+		ttl:     ttl,
+		entries: make(map[uint64]time.Duration),
+	}
+}
+
+// dnlKey hashes name+nonce with FNV-1a, separating components so that
+// ("/a/bc", n) and ("/ab/c", n) differ.
+func dnlKey(name ndn.Name, nonce uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range name {
+		for i := 0; i < len(c); i++ {
+			h = (h ^ uint64(c[i])) * prime64
+		}
+		h = (h ^ 0xFF) * prime64 // component separator (0xFF never appears in our labels' UTF-8)
+	}
+	for shift := 0; shift < 32; shift += 8 {
+		h = (h ^ uint64(byte(nonce>>shift))) * prime64
+	}
+	return h
+}
+
+// Add records the pair; it stays dead for the TTL.
+func (d *deadNonceList) Add(name ndn.Name, nonce uint32) {
+	now := d.clock.Now()
+	d.entries[dnlKey(name, nonce)] = now + d.ttl
+	// Amortized sweep: expired entries are dropped at most once per TTL, so
+	// the map is bounded by one TTL's worth of traffic. Map iteration order
+	// is irrelevant here — only deletions happen, no observable ordering.
+	if now >= d.sweepAt {
+		for k, exp := range d.entries {
+			if exp <= now {
+				delete(d.entries, k)
+			}
+		}
+		d.sweepAt = now + d.ttl
+	}
+}
+
+// Has reports whether the pair is still dead.
+func (d *deadNonceList) Has(name ndn.Name, nonce uint32) bool {
+	exp, ok := d.entries[dnlKey(name, nonce)]
+	return ok && exp > d.clock.Now()
+}
+
+// Len returns the number of recorded pairs (including not-yet-swept
+// expired ones).
+func (d *deadNonceList) Len() int { return len(d.entries) }

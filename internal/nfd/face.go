@@ -60,3 +60,19 @@ func (f *Face) ID() int { return f.id }
 
 // Local reports whether this is an application face.
 func (f *Face) Local() bool { return f.local }
+
+// faceSearch returns the position of id in faces (sorted ascending by face
+// ID), or the insertion point if absent. Hand-rolled so allocation-free
+// lookup paths (PitEntry.HasDownstream) stay closure-free.
+func faceSearch(faces []*Face, id int) int {
+	lo, hi := 0, len(faces)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if faces[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -5,37 +5,77 @@ import (
 )
 
 // Fib is the Forwarding Information Base: name prefixes mapped to next-hop
-// faces, matched by longest prefix.
+// faces, matched by longest prefix. Prefixes live on the shared name tree,
+// so a lookup is a single component-wise descent that remembers the deepest
+// node carrying next hops — the seed implementation built one prefix string
+// per length per lookup (O(depth²) bytes allocated); this path allocates
+// nothing.
 type Fib struct {
-	entries map[string][]*Face
+	tree *NameTree
+	len  int
+
+	lookups uint64
+	misses  uint64
+}
+
+// FibStats counts FIB lookup outcomes.
+type FibStats struct {
+	Lookups uint64
+	// Misses counts lookups for which no registered prefix matched.
+	Misses uint64
 }
 
 // NewFib returns an empty FIB.
 func NewFib() *Fib {
-	return &Fib{entries: make(map[string][]*Face)}
+	return newFibOn(NewNameTree())
 }
 
-// Insert registers face as a next hop for prefix. Duplicate registrations are
-// idempotent.
+// newFibOn mounts the FIB on an existing (possibly shared) tree.
+func newFibOn(tree *NameTree) *Fib {
+	return &Fib{tree: tree}
+}
+
+// Len returns the number of registered prefixes.
+func (f *Fib) Len() int { return f.len }
+
+// Stats returns a copy of the lookup counters.
+func (f *Fib) Stats() FibStats {
+	return FibStats{Lookups: f.lookups, Misses: f.misses}
+}
+
+// Insert registers face as a next hop for prefix. Next hops are kept sorted
+// by face ID, so strategy fan-out order is deterministic regardless of
+// registration order. Duplicate registrations are idempotent.
 func (f *Fib) Insert(prefix ndn.Name, face *Face) {
-	key := prefix.String()
-	for _, existing := range f.entries[key] {
-		if existing == face {
-			return
-		}
+	node := f.tree.fill(prefix)
+	i := faceSearch(node.fib, face.id)
+	if i < len(node.fib) && node.fib[i].id == face.id {
+		return
 	}
-	f.entries[key] = append(f.entries[key], face)
+	if len(node.fib) == 0 {
+		f.len++
+	}
+	node.fib = append(node.fib, nil)
+	copy(node.fib[i+1:], node.fib[i:])
+	node.fib[i] = face
 }
 
-// Remove unregisters face from prefix.
+// Remove unregisters face from prefix, pruning the tree node when the last
+// next hop goes away.
 func (f *Fib) Remove(prefix ndn.Name, face *Face) {
-	key := prefix.String()
-	hops := f.entries[key]
-	for i, existing := range hops {
-		if existing == face {
-			f.entries[key] = append(hops[:i], hops[i+1:]...)
-			if len(f.entries[key]) == 0 {
-				delete(f.entries, key)
+	node := f.tree.find(prefix)
+	if node == nil {
+		return
+	}
+	for i, existing := range node.fib {
+		if existing.id == face.id {
+			copy(node.fib[i:], node.fib[i+1:])
+			node.fib[len(node.fib)-1] = nil
+			node.fib = node.fib[:len(node.fib)-1]
+			if len(node.fib) == 0 {
+				node.fib = nil
+				f.len--
+				f.tree.prune(node)
 			}
 			return
 		}
@@ -43,12 +83,23 @@ func (f *Fib) Remove(prefix ndn.Name, face *Face) {
 }
 
 // Lookup returns the next hops for the longest registered prefix of name,
-// or nil when no prefix matches.
+// or nil when no prefix matches. The returned slice is the FIB's own
+// storage — callers must not modify it. Allocation-free.
 func (f *Fib) Lookup(name ndn.Name) []*Face {
-	for k := name.Len(); k >= 0; k-- {
-		if hops, ok := f.entries[name.Prefix(k).String()]; ok && len(hops) > 0 {
-			return hops
+	f.lookups++
+	n := &f.tree.root
+	best := n.fib
+	for _, c := range name {
+		if n = n.child(c); n == nil {
+			break
+		}
+		if len(n.fib) > 0 {
+			best = n.fib
 		}
 	}
-	return nil
+	if len(best) == 0 {
+		f.misses++
+		return nil
+	}
+	return best
 }

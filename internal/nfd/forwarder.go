@@ -39,9 +39,21 @@ type Stats struct {
 	OutData         uint64
 	CsHits          uint64
 	PitAggregated   uint64
+	Retransmissions uint64
 	NonceDrops      uint64
 	UnsolicitedData uint64
 	Suppressed      uint64
+}
+
+// TableStats snapshots the forwarder's three tables: current sizes, the
+// shared name tree's node count, and per-table lookup outcomes.
+type TableStats struct {
+	CsEntries  int
+	PitEntries int
+	FibEntries int
+	TreeNodes  int
+	Cs         CsStats
+	Fib        FibStats
 }
 
 // Config parameterizes a Forwarder.
@@ -58,14 +70,18 @@ type Config struct {
 	Strategy Strategy
 }
 
-// Forwarder is one node's NDN forwarding daemon.
+// Forwarder is one node's NDN forwarding daemon. Its Content Store, PIT,
+// and FIB all index into one shared name tree, so an Interest's CS lookup,
+// PIT descent, and FIB longest-prefix match traverse the same nodes.
 type Forwarder struct {
 	clock Clock
 	cfg   Config
 	faces []*Face
+	tree  *NameTree
 	cs    *ContentStore
 	pit   *Pit
 	fib   *Fib
+	dnl   *deadNonceList
 	stats Stats
 }
 
@@ -80,12 +96,15 @@ func NewForwarder(clock Clock, cfg Config) *Forwarder {
 	if cfg.Strategy == nil {
 		cfg.Strategy = MulticastStrategy{}
 	}
+	tree := NewNameTree()
 	return &Forwarder{
 		clock: clock,
 		cfg:   cfg,
-		cs:    NewContentStore(cfg.CsCapacity),
-		pit:   NewPit(clock),
-		fib:   NewFib(),
+		tree:  tree,
+		cs:    newContentStoreOn(tree, cfg.CsCapacity, clock),
+		pit:   newPitOn(tree, clock),
+		fib:   newFibOn(tree),
+		dnl:   newDeadNonceList(clock, 0),
 	}
 }
 
@@ -109,6 +128,18 @@ func (fw *Forwarder) Pit() *Pit { return fw.pit }
 // Stats returns a copy of the counters.
 func (fw *Forwarder) Stats() Stats { return fw.stats }
 
+// TableStats returns a snapshot of per-table sizes and lookup counters.
+func (fw *Forwarder) TableStats() TableStats {
+	return TableStats{
+		CsEntries:  fw.cs.Len(),
+		PitEntries: fw.pit.Len(),
+		FibEntries: fw.fib.Len(),
+		TreeNodes:  fw.tree.Nodes(),
+		Cs:         fw.cs.Stats(),
+		Fib:        fw.fib.Stats(),
+	}
+}
+
 // SetStrategy replaces the forwarding strategy.
 func (fw *Forwarder) SetStrategy(s Strategy) { fw.cfg.Strategy = s }
 
@@ -118,28 +149,41 @@ func (fw *Forwarder) ReceiveInterest(ingress *Face, interest *ndn.Interest) {
 	fw.stats.InInterests++
 	ingress.InInterests++
 
-	// Loop detection: same name + same nonce seen before.
-	if e := fw.pit.Find(interest.Name); e != nil && e.HasNonce(interest.Nonce) {
+	// Loop detection: same name + same nonce pending in the PIT, or
+	// remembered by the dead-nonce list after its PIT state (or CS answer)
+	// is gone.
+	pending := fw.pit.Find(interest.Name)
+	if (pending != nil && pending.HasNonce(interest.Nonce)) || fw.dnl.Has(interest.Name, interest.Nonce) {
 		fw.stats.NonceDrops++
 		return
 	}
 
-	// Content Store.
+	// Content Store. A CS-satisfied Interest creates no PIT entry, so its
+	// nonce is parked on the dead-nonce list — otherwise the same looping
+	// Interest would go undetected on a later miss.
 	if data := fw.cs.Find(interest); data != nil {
 		fw.stats.CsHits++
+		fw.dnl.Add(interest.Name, interest.Nonce)
 		fw.sendData(ingress, data)
 		return
 	}
 
-	// PIT.
+	// PIT. An Interest from a face that is already a downstream (same name,
+	// fresh nonce — the loop check above already passed) is a
+	// retransmission: the consumer lost the first try, so it must be
+	// forwarded again, not swallowed as aggregated (NFD dev guide §4.2.1).
+	retransmission := pending != nil && pending.HasDownstream(ingress.id)
 	lifetime := interest.Lifetime
 	if lifetime == 0 {
 		lifetime = fw.cfg.DefaultLifetime
 	}
-	_, aggregated := fw.pit.Insert(interest, ingress, lifetime)
-	if aggregated {
+	_, existed := fw.pit.Insert(interest, ingress, lifetime)
+	if existed && !retransmission {
 		fw.stats.PitAggregated++
 		return
+	}
+	if retransmission {
+		fw.stats.Retransmissions++
 	}
 
 	// FIB + strategy.

@@ -1,0 +1,294 @@
+package nfd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dapes/internal/ndn"
+)
+
+// TestPitDownstreamsSortedStable pins the fix for the Data fan-out
+// nondeterminism: Downstreams() used to iterate a Go map, so the order Data
+// was pushed to waiting faces varied run to run (the same bug class PR 2
+// stamped out of Ekta/DSDV). Faces are inserted in shuffled orders; every
+// call must come back sorted by face ID.
+func TestPitDownstreamsSortedStable(t *testing.T) {
+	t.Parallel()
+	_, clock := testClock()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		pit := NewPit(clock)
+		faces := make([]*Face, 40)
+		for i := range faces {
+			faces[i] = &Face{id: i}
+		}
+		var entry *PitEntry
+		for _, i := range rng.Perm(len(faces)) {
+			entry, _ = pit.Insert(&ndn.Interest{Name: ndn.ParseName("/x"), Nonce: uint32(i)},
+				faces[i], time.Second)
+		}
+		for call := 0; call < 3; call++ {
+			ds := entry.Downstreams()
+			if len(ds) != len(faces) {
+				t.Fatalf("downstreams = %d, want %d", len(ds), len(faces))
+			}
+			for i, f := range ds {
+				if f.id != i {
+					t.Fatalf("trial %d: downstream[%d].id = %d; order not sorted by face ID", trial, i, f.id)
+				}
+			}
+		}
+		if !entry.HasDownstream(17) || entry.HasDownstream(40) {
+			t.Fatal("HasDownstream wrong")
+		}
+	}
+}
+
+// TestForwarderRetransmissionReforwarded covers the lost-Interest retry
+// path: a consumer re-expressing an Interest (same name, fresh nonce, same
+// downstream face) used to be swallowed as "aggregated" and never
+// re-forwarded, so a lost upstream Interest could never be recovered.
+func TestForwarderRetransmissionReforwarded(t *testing.T) {
+	t.Parallel()
+	fx := newFixture(Config{})
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 1})
+	if len(fx.netOut) != 1 {
+		t.Fatalf("first expression not forwarded: %d", len(fx.netOut))
+	}
+	// The upstream Interest is lost; the consumer retries with a new nonce.
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 2})
+	if len(fx.netOut) != 2 {
+		t.Fatalf("retransmission not re-forwarded: %d transmissions", len(fx.netOut))
+	}
+	st := fx.fw.Stats()
+	if st.Retransmissions != 1 {
+		t.Fatalf("Retransmissions = %d, want 1", st.Retransmissions)
+	}
+	if st.PitAggregated != 0 {
+		t.Fatalf("retransmission miscounted as aggregated: %d", st.PitAggregated)
+	}
+
+	// A different face asking for the same name is still aggregation, not a
+	// retransmission.
+	app2 := fx.fw.AddFace(true, nil)
+	fx.fw.ReceiveInterest(app2, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 3})
+	if len(fx.netOut) != 2 {
+		t.Fatal("aggregated interest from a new face was forwarded")
+	}
+	if fx.fw.Stats().PitAggregated != 1 {
+		t.Fatalf("PitAggregated = %d, want 1", fx.fw.Stats().PitAggregated)
+	}
+
+	// Data satisfies both downstream faces once.
+	fx.fw.ReceiveData(fx.net, mkData("/coll/0", "v"))
+	if len(fx.appOut) != 1 {
+		t.Fatalf("app face got %d data packets, want 1", len(fx.appOut))
+	}
+}
+
+// TestForwarderCsHitRecordsNonce covers the other hole PR 2 missed: an
+// Interest answered from the Content Store never created PIT state, so its
+// nonce was forgotten — if the same Interest kept looping and the cached
+// entry was evicted meanwhile, the duplicate was forwarded instead of
+// dropped. The nonce now lands on the dead-nonce list at CS-hit time.
+func TestForwarderCsHitRecordsNonce(t *testing.T) {
+	t.Parallel()
+	fx := newFixture(Config{CsCapacity: 1})
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+	fx.fw.Cs().Insert(mkData("/coll/0", "v"))
+
+	in := &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 9}
+	fx.fw.ReceiveInterest(fx.app, in)
+	if fx.fw.Stats().CsHits != 1 || len(fx.appOut) != 1 {
+		t.Fatal("CS hit did not answer")
+	}
+
+	// The cached entry is evicted (capacity 1), then the same Interest loops
+	// back in: it must be dropped as a duplicate, not forwarded upstream.
+	fx.fw.Cs().Insert(mkData("/other/0", "v"))
+	fx.fw.ReceiveInterest(fx.net, in)
+	if got := fx.fw.Stats().NonceDrops; got != 1 {
+		t.Fatalf("NonceDrops = %d, want 1 (looping CS-satisfied interest re-accepted)", got)
+	}
+	if len(fx.netOut) != 0 {
+		t.Fatal("looping interest was forwarded")
+	}
+
+	// A genuine new request (fresh nonce) still works.
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 10})
+	if len(fx.netOut) != 1 {
+		t.Fatal("fresh interest blocked")
+	}
+}
+
+// TestDeadNonceListExpiry checks entries die after the TTL so the list
+// cannot leak unboundedly.
+func TestDeadNonceListExpiry(t *testing.T) {
+	t.Parallel()
+	k, clock := testClock()
+	dnl := newDeadNonceList(clock, 0)
+	name := ndn.ParseName("/a/b")
+	dnl.Add(name, 1)
+	if !dnl.Has(name, 1) || dnl.Has(name, 2) || dnl.Has(ndn.ParseName("/a"), 1) {
+		t.Fatal("membership wrong")
+	}
+	k.Run(deadNonceTTL + time.Second)
+	if dnl.Has(name, 1) {
+		t.Fatal("entry survived past TTL")
+	}
+	// The amortized sweep eventually reclaims memory: add entries over
+	// several TTLs and check the map stays bounded. (Run takes an absolute
+	// horizon.)
+	horizon := deadNonceTTL + time.Second
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 100; j++ {
+			dnl.Add(name.AppendSeq(j), uint32(i*100+j))
+		}
+		horizon += deadNonceTTL
+		k.Run(horizon)
+	}
+	if dnl.Len() > 300 {
+		t.Fatalf("dead-nonce list leaking: %d entries", dnl.Len())
+	}
+}
+
+// advanceClock is a helper fixture method: run the kernel forward.
+func (fx *fixture) advance(d time.Duration) { fx.k.Run(d) }
+
+// TestContentStoreFreshness covers the MustBeFresh semantics end to end at
+// the table level: fresh entries satisfy, stale entries are skipped (but
+// still satisfy plain Interests), and data without a FreshnessPeriod is
+// never fresh.
+func TestContentStoreFreshness(t *testing.T) {
+	t.Parallel()
+	k, clock := testClock()
+	cs := NewContentStoreWithClock(4, clock)
+
+	fresh := mkData("/f/0", "v")
+	fresh.Freshness = 2 * time.Second
+	fresh.SignDigest()
+	cs.Insert(fresh)
+	noPeriod := mkData("/f/1", "v") // no FreshnessPeriod: stale from birth
+	cs.Insert(noPeriod)
+
+	mbf := func(uri string) *ndn.Interest {
+		return &ndn.Interest{Name: ndn.ParseName(uri), MustBeFresh: true}
+	}
+	if cs.Find(mbf("/f/0")) == nil {
+		t.Fatal("fresh entry not served to MustBeFresh")
+	}
+	if cs.Find(mbf("/f/1")) != nil {
+		t.Fatal("entry without FreshnessPeriod served to MustBeFresh")
+	}
+	if cs.Find(&ndn.Interest{Name: ndn.ParseName("/f/1")}) == nil {
+		t.Fatal("stale entry refused to a plain Interest")
+	}
+
+	// Cross the freshness deadline: /f/0 goes stale for MustBeFresh but
+	// still serves plain Interests.
+	k.Run(3 * time.Second)
+	if cs.Find(mbf("/f/0")) != nil {
+		t.Fatal("stale entry served to MustBeFresh")
+	}
+	if cs.Find(&ndn.Interest{Name: ndn.ParseName("/f/0")}) == nil {
+		t.Fatal("stale entry refused to a plain Interest")
+	}
+	if got := cs.Stats().StaleSkips; got == 0 {
+		t.Fatal("stale skip not counted")
+	}
+
+	// Re-inserting restarts the freshness window.
+	cs.Insert(fresh)
+	if cs.Find(mbf("/f/0")) == nil {
+		t.Fatal("re-insert did not refresh freshness")
+	}
+
+	// Prefix matching skips stale entries and lands on a fresh deeper one.
+	deep := mkData("/f/1/deep", "v")
+	deep.Freshness = time.Minute
+	deep.SignDigest()
+	cs.Insert(deep)
+	got := cs.Find(&ndn.Interest{Name: ndn.ParseName("/f/1"), CanBePrefix: true, MustBeFresh: true})
+	if got == nil || !got.Name.Equal(deep.Name) {
+		t.Fatalf("prefix MustBeFresh = %v, want /f/1/deep", got)
+	}
+}
+
+// TestContentStorePrefixCanonicalOrder pins which entry a CanBePrefix
+// lookup selects when several match: the exact node first, then the
+// smallest in ndn.Name.Compare order (lexicographic per component) —
+// independent of insertion or recency order. The seed implementation
+// returned the most recently used match, which depended on request
+// history.
+func TestContentStorePrefixCanonicalOrder(t *testing.T) {
+	t.Parallel()
+	cs := NewContentStore(8)
+	cs.Insert(mkData("/p/z", "z"))
+	cs.Insert(mkData("/p/a/x", "ax"))
+	cs.Insert(mkData("/p/a", "a"))
+
+	got := cs.Find(&ndn.Interest{Name: ndn.ParseName("/p"), CanBePrefix: true})
+	if got == nil || got.Name.String() != "/p/a" {
+		t.Fatalf("canonical-order match = %v, want /p/a", got)
+	}
+	// Touch /p/z to make it most recent; the choice must not change.
+	cs.Find(&ndn.Interest{Name: ndn.ParseName("/p/z")})
+	got = cs.Find(&ndn.Interest{Name: ndn.ParseName("/p"), CanBePrefix: true})
+	if got == nil || got.Name.String() != "/p/a" {
+		t.Fatalf("recency changed prefix-match choice: %v", got)
+	}
+	// An exact entry at the Interest name itself wins over descendants.
+	cs.Insert(mkData("/p", "p"))
+	got = cs.Find(&ndn.Interest{Name: ndn.ParseName("/p"), CanBePrefix: true})
+	if got == nil || got.Name.String() != "/p" {
+		t.Fatalf("exact node not preferred: %v", got)
+	}
+}
+
+// TestForwarderStaleEntryCausesPitInsert is the forwarder-level freshness
+// test: a stale CS entry must not short-circuit a MustBeFresh Interest —
+// the Interest takes the PIT/FIB path instead, and the returning Data
+// refreshes the store.
+func TestForwarderStaleEntryCausesPitInsert(t *testing.T) {
+	t.Parallel()
+	fx := newFixture(Config{})
+	fx.fw.Fib().Insert(ndn.ParseName("/coll"), fx.net)
+
+	stale := mkData("/coll/0", "old")
+	stale.Freshness = time.Second
+	stale.SignDigest()
+	fx.fw.Cs().Insert(stale)
+	fx.advance(2 * time.Second) // entry is now stale
+
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 1, MustBeFresh: true})
+	if fx.fw.Stats().CsHits != 0 {
+		t.Fatal("stale entry produced a CS hit for MustBeFresh")
+	}
+	if fx.fw.Pit().Len() != 1 {
+		t.Fatalf("PIT len = %d, want 1 (stale entry must fall through to PIT)", fx.fw.Pit().Len())
+	}
+	if len(fx.netOut) != 1 {
+		t.Fatal("interest not forwarded upstream")
+	}
+
+	// Fresh Data comes back, satisfies the PIT, and re-fills the store.
+	d := mkData("/coll/0", "new")
+	d.Freshness = 10 * time.Second
+	d.SignDigest()
+	fx.fw.ReceiveData(fx.net, d)
+	if len(fx.appOut) != 1 {
+		t.Fatal("data not delivered downstream")
+	}
+	// Now the same MustBeFresh request is a CS hit.
+	fx.fw.ReceiveInterest(fx.app, &ndn.Interest{Name: ndn.ParseName("/coll/0"), Nonce: 2, MustBeFresh: true})
+	if fx.fw.Stats().CsHits != 1 {
+		t.Fatal("refreshed entry not served")
+	}
+	ts := fx.fw.TableStats()
+	if ts.Cs.StaleSkips == 0 || ts.CsEntries != 1 || ts.TreeNodes == 0 {
+		t.Fatalf("table stats inconsistent: %+v", ts)
+	}
+}

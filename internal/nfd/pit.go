@@ -10,19 +10,40 @@ import (
 // where matching Data must be sent; the nonce set detects loops.
 type PitEntry struct {
 	Name       ndn.Name
-	downstream map[int]*Face
+	node       *nameTreeNode
+	downstream []*Face // sorted ascending by face ID
 	nonces     map[uint32]struct{}
 	expiry     Timer
 	expired    bool
 }
 
-// Downstreams returns the faces waiting for this Interest's Data.
+// Downstreams returns the faces waiting for this Interest's Data, sorted by
+// face ID. The order is stable across calls and across process runs — Data
+// fan-out order is part of the forwarder's determinism contract (the seed
+// implementation iterated a Go map here, so fan-out order varied per run).
 func (e *PitEntry) Downstreams() []*Face {
-	out := make([]*Face, 0, len(e.downstream))
-	for _, f := range e.downstream {
-		out = append(out, f)
-	}
+	out := make([]*Face, len(e.downstream))
+	copy(out, e.downstream)
 	return out
+}
+
+// HasDownstream reports whether the face is already recorded as a
+// downstream — i.e. a further Interest for this name from that face is a
+// retransmission, not an aggregation.
+func (e *PitEntry) HasDownstream(faceID int) bool {
+	i := faceSearch(e.downstream, faceID)
+	return i < len(e.downstream) && e.downstream[i].id == faceID
+}
+
+// addDownstream inserts the face in ID order; duplicates are ignored.
+func (e *PitEntry) addDownstream(f *Face) {
+	i := faceSearch(e.downstream, f.id)
+	if i < len(e.downstream) && e.downstream[i].id == f.id {
+		return
+	}
+	e.downstream = append(e.downstream, nil)
+	copy(e.downstream[i+1:], e.downstream[i:])
+	e.downstream[i] = f
 }
 
 // HasNonce reports whether the nonce was already seen (loop indicator).
@@ -31,41 +52,53 @@ func (e *PitEntry) HasNonce(n uint32) bool {
 	return ok
 }
 
-// Pit is the Pending Interest Table: exact-name-keyed entries with lifetimes.
+// Pit is the Pending Interest Table: exact-name entries stored on the
+// shared name tree, with clock-driven lifetimes.
 type Pit struct {
-	clock   Clock
-	entries map[string]*PitEntry
+	clock Clock
+	tree  *NameTree
+	len   int
 }
 
 // NewPit returns an empty PIT driven by the given clock.
 func NewPit(clock Clock) *Pit {
-	return &Pit{clock: clock, entries: make(map[string]*PitEntry)}
+	return newPitOn(NewNameTree(), clock)
+}
+
+// newPitOn mounts the PIT on an existing (possibly shared) tree.
+func newPitOn(tree *NameTree, clock Clock) *Pit {
+	return &Pit{clock: clock, tree: tree}
 }
 
 // Len returns the number of pending entries.
-func (p *Pit) Len() int { return len(p.entries) }
+func (p *Pit) Len() int { return p.len }
 
-// Find returns the entry for an exact name, or nil.
+// Find returns the entry for an exact name, or nil. Allocation-free.
 func (p *Pit) Find(name ndn.Name) *PitEntry {
-	return p.entries[name.String()]
+	if n := p.tree.find(name); n != nil {
+		return n.pit
+	}
+	return nil
 }
 
 // Insert adds (or extends) the entry for interest arriving on face, returning
 // the entry and whether it already existed (i.e. the Interest was
 // aggregated). The entry expires after lifetime.
 func (p *Pit) Insert(interest *ndn.Interest, face *Face, lifetime time.Duration) (entry *PitEntry, aggregated bool) {
-	key := interest.Name.String()
-	e, ok := p.entries[key]
-	if !ok {
+	node := p.tree.fill(interest.Name)
+	e := node.pit
+	existed := e != nil
+	if !existed {
 		e = &PitEntry{
-			Name:       interest.Name.Clone(),
-			downstream: make(map[int]*Face, 2),
-			nonces:     make(map[uint32]struct{}, 2),
+			Name:   interest.Name.Clone(),
+			node:   node,
+			nonces: make(map[uint32]struct{}, 2),
 		}
-		p.entries[key] = e
+		node.pit = e
+		p.len++
 	}
 	if face != nil {
-		e.downstream[face.id] = face
+		e.addDownstream(face)
 	}
 	e.nonces[interest.Nonce] = struct{}{}
 	if e.expiry != nil {
@@ -74,24 +107,33 @@ func (p *Pit) Insert(interest *ndn.Interest, face *Face, lifetime time.Duration)
 	e.expiry = p.clock.Schedule(lifetime, func() {
 		if !e.expired {
 			e.expired = true
-			delete(p.entries, key)
+			p.remove(e)
 		}
 	})
-	return e, ok
+	return e, existed
 }
 
 // Satisfy removes the entry matched by the Data packet and returns it, or nil
 // if no Interest is pending for that exact name.
 func (p *Pit) Satisfy(data *ndn.Data) *PitEntry {
-	key := data.Name.String()
-	e, ok := p.entries[key]
-	if !ok {
+	node := p.tree.find(data.Name)
+	if node == nil || node.pit == nil {
 		return nil
 	}
+	e := node.pit
 	if e.expiry != nil {
 		e.expiry.Cancel()
 	}
 	e.expired = true
-	delete(p.entries, key)
+	p.remove(e)
 	return e
+}
+
+func (p *Pit) remove(e *PitEntry) {
+	if e.node.pit != e {
+		return
+	}
+	e.node.pit = nil
+	p.tree.prune(e.node)
+	p.len--
 }
