@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-nfd golden
+.PHONY: all build vet test race bench bench-nfd bench-json bench-check golden
 
 all: vet build test
 
@@ -25,6 +25,22 @@ bench:
 # (docs/PERFORMANCE.md).
 bench-nfd:
 	$(GO) test -run=NONE -bench='BenchmarkCsPrefixFind|BenchmarkFibLookup' -benchmem -benchtime=300ms ./internal/nfd/
+
+# Machine-readable perf snapshot: wire-path and dense-broadcast
+# micro-benches plus download time and total allocations for the dense
+# urban-grid scenarios, as stable JSON. BENCH_4.json is the checked-in
+# perf-trajectory entry for the zero-copy wire path PR; regenerate it with
+# this target when a PR intentionally moves the numbers.
+bench-json:
+	$(GO) run ./cmd/bench-snapshot -issue 4 -o BENCH_4.json
+	@cat BENCH_4.json
+
+# The perf gate CI runs: re-measures and FAILS if the hardware-independent
+# alloc numbers (wire allocs/op exactly, phy +2 slack, scenario totals +50%)
+# regressed against the committed BENCH_4.json. Times never gate — they move
+# with hardware.
+bench-check:
+	$(GO) run ./cmd/bench-snapshot -issue 4 -check BENCH_4.json
 
 # The determinism gates: grid==naive byte-identical for every registered
 # scenario, baselines identical across reruns, and the forwarder's

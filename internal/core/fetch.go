@@ -171,7 +171,8 @@ func (p *Peer) handleContentInterest(from int, in *ndn.Interest) {
 }
 
 // scheduleReply broadcasts a Data packet after the random transmission
-// timer, suppressing the reply if another node answers first.
+// timer, suppressing the reply if another node answers first. Stored packets
+// keep their wire form, so repeat replies reuse one encoding (encode-once).
 func (p *Peer) scheduleReply(d *ndn.Data, counter *uint64) {
 	key := d.Name.String()
 	if _, pending := p.pendingReplies[key]; pending {

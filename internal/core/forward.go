@@ -96,6 +96,7 @@ func (p *Peer) forwardInterest(in *ndn.Interest) {
 	}
 	rec := &forwardRecord{at: p.k.Now()}
 	p.forwarded[key] = rec
+	// Encode-once: a received Interest relays its original frame bytes.
 	wire := in.Encode()
 	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
 		if !p.running {
@@ -125,6 +126,7 @@ func (p *Peer) maybeForwardData(d *ndn.Data) {
 	rec.answered = true
 	p.stats.ForwardedAnswered++
 	delete(p.suppressed, key)
+	// Encode-once: relay the Data frame exactly as it was received.
 	wire := d.Encode()
 	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
 		if !p.running {

@@ -315,22 +315,20 @@ func (p *Peer) newNonce() uint32 {
 
 // --- Frame dispatch ---
 
+// onFrame dispatches a received frame through its decode-once packet view:
+// when several peers hear the same broadcast, the first handler parses and
+// the rest reuse that parse (the Interest/Data objects are shared and
+// treated as read-only — see the phy.Frame wire-path contract). Malformed
+// frames drop, as before.
 func (p *Peer) onFrame(f phy.Frame) {
 	if !p.running {
 		return
 	}
-	if len(f.Payload) == 0 {
-		return
-	}
-	switch f.Payload[0] {
-	case 0x05:
-		if in, err := ndn.DecodeInterest(f.Payload); err == nil {
-			p.handleInterest(f.From, in)
-		}
-	case 0x06:
-		if d, err := ndn.DecodeData(f.Payload); err == nil {
-			p.handleData(f.From, d)
-		}
+	pkt := f.Packet()
+	if in := pkt.Interest(); in != nil {
+		p.handleInterest(f.From, in)
+	} else if d := pkt.Data(); d != nil {
+		p.handleData(f.From, d)
 	}
 }
 

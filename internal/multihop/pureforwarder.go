@@ -157,19 +157,18 @@ func (f *PureForwarder) sweep() {
 	f.sweepEv = f.k.Schedule(f.cfg.SuppressTTL, f.sweep)
 }
 
+// onFrame dispatches through the frame's decode-once packet view, sharing
+// one parse with every other receiver of the broadcast (phy.Frame wire-path
+// contract: the decoded packet is read-only).
 func (f *PureForwarder) onFrame(fr phy.Frame) {
-	if !f.running || len(fr.Payload) == 0 {
+	if !f.running {
 		return
 	}
-	switch fr.Payload[0] {
-	case 0x05:
-		if in, err := ndn.DecodeInterest(fr.Payload); err == nil {
-			f.onInterest(in)
-		}
-	case 0x06:
-		if d, err := ndn.DecodeData(fr.Payload); err == nil {
-			f.onData(d)
-		}
+	pkt := fr.Packet()
+	if in := pkt.Interest(); in != nil {
+		f.onInterest(in)
+	} else if d := pkt.Data(); d != nil {
+		f.onData(d)
 	}
 }
 
@@ -205,6 +204,7 @@ func (f *PureForwarder) onInterest(in *ndn.Interest) {
 		relayed:     make(map[string]bool, 1),
 	}
 	f.forwarded[key] = rec
+	// Encode-once: a received Interest relays its original frame bytes.
 	wire := in.Encode()
 	f.k.Schedule(f.k.Jitter(f.cfg.TransmissionWindow), func() {
 		if !f.running {
@@ -221,7 +221,9 @@ func (f *PureForwarder) onInterest(in *ndn.Interest) {
 }
 
 // scheduleReply answers from the Content Store after a random delay,
-// canceling if another node replies first.
+// canceling if another node replies first. The CS holds each packet's
+// original wire (encode-once), so the reply re-emits the cached frame
+// without a re-encode.
 func (f *PureForwarder) scheduleReply(d *ndn.Data) {
 	key := d.Name.String()
 	if _, pending := f.pendingReplies[key]; pending {
@@ -257,6 +259,7 @@ func (f *PureForwarder) onData(d *ndn.Data) {
 		f.stats.ForwardedAnswered++
 	}
 	delete(f.suppressed, rec.name.String())
+	// Encode-once: relay the Data frame exactly as it was received.
 	wire := d.Encode()
 	f.k.Schedule(f.k.Jitter(f.cfg.TransmissionWindow), func() {
 		if !f.running {

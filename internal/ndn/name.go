@@ -5,6 +5,19 @@
 // The subset implemented here follows the NDN Packet Format Specification
 // (reference [1] of the paper) closely enough that packets round-trip through
 // a real TLV encoding, while omitting fields DAPES never uses.
+//
+// # Encode-once / decode-once
+//
+// Packets retain their wire form, the way YaNFD and other production NDN
+// forwarders do. Interest.Encode and Data.Encode serialize at most once and
+// cache the bytes; DecodeInterest and DecodeData parse without per-field
+// copies (variable-length fields are views into the frame buffer) and cache
+// the frame they parsed, so re-broadcasting an unmodified packet — a CS hit,
+// a multi-hop relay, a retransmission — reuses the exact received bytes.
+// The cost of this is an immutability contract: once a packet has been
+// encoded or decoded, its fields and its wire buffer must not be modified
+// (InvalidateWire is the explicit escape hatch). The Packet type extends the
+// same idea across receivers: one broadcast, one shared lazy decode.
 package ndn
 
 import (

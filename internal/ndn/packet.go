@@ -49,6 +49,13 @@ const (
 
 // Interest is an NDN request for a named Data packet. DAPES carries protocol
 // state (e.g. the sender's bitmap) in ApplicationParameters.
+//
+// Interests follow the encode-once / decode-once contract (see the package
+// docs): Encode caches its wire form and DecodeInterest records the frame it
+// parsed, so re-broadcasting an unmodified Interest reuses the exact bytes
+// that were received. A packet that has been encoded or decoded is immutable;
+// callers that need to change a field must InvalidateWire first (or build a
+// fresh packet), otherwise Encode keeps returning the stale cached frame.
 type Interest struct {
 	Name        Name
 	CanBePrefix bool
@@ -56,11 +63,28 @@ type Interest struct {
 	Nonce       uint32
 	Lifetime    time.Duration
 	HopLimit    uint8
-	AppParams   []byte
+	// AppParams views into the decoded wire buffer (no copy); treat it as
+	// read-only.
+	AppParams []byte
+
+	// wire is the cached TLV form: the bytes Encode produced, or the exact
+	// frame sub-slice DecodeInterest parsed.
+	wire []byte
 }
 
-// Encode serializes the Interest to its TLV wire form.
+// InvalidateWire drops the cached wire form so the next Encode re-serializes
+// the current field values. It is the explicit escape hatch from the
+// immutability contract; in-simulation traffic never needs it.
+func (i *Interest) InvalidateWire() { i.wire = nil }
+
+// Encode returns the Interest's TLV wire form, serializing at most once: the
+// first call caches the encoding (and a decoded Interest is born with the
+// received frame cached), so every later call — retransmissions, multi-hop
+// relays — returns the same shared byte slice. Callers must not modify it.
 func (i *Interest) Encode() []byte {
+	if i.wire != nil {
+		return i.wire
+	}
 	var inner []byte
 	inner = encodeName(inner, i.Name)
 	if i.CanBePrefix {
@@ -80,10 +104,14 @@ func (i *Interest) Encode() []byte {
 	if len(i.AppParams) > 0 {
 		inner = appendTLV(inner, tlvApplicationParameters, i.AppParams)
 	}
-	return appendTLV(nil, tlvInterest, inner)
+	i.wire = appendTLV(nil, tlvInterest, inner)
+	return i.wire
 }
 
-// DecodeInterest parses a TLV-encoded Interest.
+// DecodeInterest parses a TLV-encoded Interest. The decode is zero-copy:
+// variable-length fields (AppParams) are sub-slice views into wire, and the
+// packet's wire form is cached so a later Encode returns the received bytes
+// verbatim. The caller must treat wire as immutable from here on.
 func DecodeInterest(wire []byte) (*Interest, error) {
 	outer := &tlvReader{buf: wire}
 	body, err := outer.expect(tlvInterest)
@@ -99,7 +127,9 @@ func DecodeInterest(wire []byte) (*Interest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("interest name: %w", err)
 	}
-	it := &Interest{Name: name}
+	// Cache exactly the packet's own bytes: decoding tolerates trailing
+	// garbage after the outer element, which must not ride along on relays.
+	it := &Interest{Name: name, wire: wire[:outer.pos]}
 	for !r.done() {
 		typ, v, err := r.next()
 		if err != nil {
@@ -126,7 +156,7 @@ func DecodeInterest(wire []byte) (*Interest, error) {
 				it.HopLimit = v[0]
 			}
 		case tlvApplicationParameters:
-			it.AppParams = append([]byte(nil), v...)
+			it.AppParams = v // view into wire, not a copy
 		}
 	}
 	return it, nil
@@ -141,14 +171,31 @@ type SignatureInfo struct {
 
 // Data is an NDN Data packet: named, typed content bound to its name by a
 // signature.
+//
+// Like Interest, Data follows the encode-once / decode-once contract: Encode
+// caches the wire form (so a Content Store hit or a multi-hop relay answers
+// with the original frame, never a re-serialization), and DecodeData records
+// the frame it parsed. A packet that has been encoded or decoded is
+// immutable; Sign/SignDigest invalidate the cache themselves, any other
+// field change requires InvalidateWire first.
 type Data struct {
 	Name      Name
 	Type      uint64
 	Freshness time.Duration
-	Content   []byte
-	SigInfo   SignatureInfo
-	SigValue  []byte
+	// Content and SigValue view into the decoded wire buffer (no copy);
+	// treat them as read-only.
+	Content  []byte
+	SigInfo  SignatureInfo
+	SigValue []byte
+
+	// wire is the cached TLV form: the bytes Encode produced, or the exact
+	// frame sub-slice DecodeData parsed.
+	wire []byte
 }
+
+// InvalidateWire drops the cached wire form so the next Encode re-serializes
+// the current field values.
+func (d *Data) InvalidateWire() { d.wire = nil }
 
 // signedPortion serializes the fields covered by the signature: Name,
 // MetaInfo, Content, and SignatureInfo.
@@ -175,15 +222,23 @@ func (d *Data) signedPortion() []byte {
 	return b
 }
 
-// Encode serializes the Data packet to its TLV wire form. The signature value
-// must already be populated (via Sign or SignDigest).
+// Encode returns the Data packet's TLV wire form, serializing at most once
+// (see the type docs). The signature value must already be populated (via
+// Sign or SignDigest). Callers must not modify the returned slice.
 func (d *Data) Encode() []byte {
+	if d.wire != nil {
+		return d.wire
+	}
 	inner := d.signedPortion()
 	inner = appendTLV(inner, tlvSignatureValue, d.SigValue)
-	return appendTLV(nil, tlvData, inner)
+	d.wire = appendTLV(nil, tlvData, inner)
+	return d.wire
 }
 
-// DecodeData parses a TLV-encoded Data packet.
+// DecodeData parses a TLV-encoded Data packet. The decode is zero-copy:
+// Content and SigValue are sub-slice views into wire, and the packet's wire
+// form is cached so a later Encode returns the received bytes verbatim. The
+// caller must treat wire as immutable from here on.
 func DecodeData(wire []byte) (*Data, error) {
 	outer := &tlvReader{buf: wire}
 	body, err := outer.expect(tlvData)
@@ -199,7 +254,7 @@ func DecodeData(wire []byte) (*Data, error) {
 	if err != nil {
 		return nil, fmt.Errorf("data name: %w", err)
 	}
-	d := &Data{Name: name}
+	d := &Data{Name: name, wire: wire[:outer.pos]}
 	for !r.done() {
 		typ, v, err := r.next()
 		if err != nil {
@@ -229,7 +284,7 @@ func DecodeData(wire []byte) (*Data, error) {
 				}
 			}
 		case tlvContent:
-			d.Content = append([]byte(nil), v...)
+			d.Content = v // view into wire, not a copy
 		case tlvSignatureInfo:
 			sr := &tlvReader{buf: v}
 			for !sr.done() {
@@ -258,7 +313,7 @@ func DecodeData(wire []byte) (*Data, error) {
 				}
 			}
 		case tlvSignatureValue:
-			d.SigValue = append([]byte(nil), v...)
+			d.SigValue = v // view into wire, not a copy
 		}
 	}
 	return d, nil
@@ -276,6 +331,7 @@ func (d *Data) SignDigest() {
 	d.SigInfo = SignatureInfo{Type: SigTypeDigestSha256}
 	sum := d.Digest()
 	d.SigValue = sum[:]
+	d.wire = nil // signature changed: any cached wire is stale
 }
 
 // VerifyDigest checks a DigestSha256 signature.
@@ -305,6 +361,7 @@ type Signer interface {
 func (d *Data) Sign(s Signer) {
 	d.SigInfo = SignatureInfo{Type: SigTypeEd25519, KeyLocator: s.KeyName()}
 	d.SigValue = s.Sign(d.signedPortion())
+	d.wire = nil // signature changed: any cached wire is stale
 }
 
 // Verify checks the Ed25519 signature with verify, a function mapping

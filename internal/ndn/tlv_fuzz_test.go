@@ -11,10 +11,13 @@ import (
 // FuzzTLVRoundTrip feeds arbitrary bytes to both packet decoders. The
 // invariants: malformed input never panics, and any wire that decodes
 // successfully must re-encode to a form that decodes to the same packet
-// (decode∘encode is a fixed point — encode(decode(w)) may legitimately
-// differ from w by dropped unknown TLVs or non-canonical number forms, but
-// never by meaning). Run with `go test -fuzz=FuzzTLVRoundTrip` to explore;
-// the seed corpus runs on every plain `go test`.
+// (decode∘encode is a fixed point). Since the decode-once refactor this
+// holds trivially for the first re-encode — a decoded packet caches the
+// frame it was parsed from, so Encode returns those bytes verbatim (unknown
+// TLVs and non-canonical number forms included) — and the fuzz still guards
+// the property end-to-end: the re-decode must accept the cached wire and
+// reproduce the identical packet. Run with `go test -fuzz=FuzzTLVRoundTrip`
+// to explore; the seed corpus runs on every plain `go test`.
 func FuzzTLVRoundTrip(f *testing.F) {
 	it := &Interest{
 		Name:        ParseName("/dapes/discovery/field-report"),

@@ -1,0 +1,85 @@
+package ndn
+
+import "fmt"
+
+// Packet is the decode-once view of one on-air NDN packet: it holds the
+// immutable wire bytes and parses them lazily, at most once, no matter how
+// many receivers ask. The broadcast medium attaches one Packet per
+// transmission to every delivered frame, so k receivers of the same
+// broadcast share a single decode — receiver two onward pays zero parse work
+// and zero allocations (pinned by TestDeliveredFrameSharedDecode in
+// internal/phy).
+//
+// Sharing one decoded packet across receivers is safe under the simulator's
+// wire-path contract (docs/PERFORMANCE.md "Wire path"): the sim kernel is
+// single-threaded per trial, and received packets are immutable — handlers
+// read the Interest/Data they are given and never write through it. Packets
+// from different trials never meet, so the Runner's trial-level parallelism
+// is unaffected.
+type Packet struct {
+	wire     []byte
+	interest *Interest
+	data     *Data
+	err      error
+	parsed   bool
+}
+
+// NewPacket wraps wire bytes (one TLV packet) without parsing them. The
+// bytes must not be modified afterwards.
+func NewPacket(wire []byte) *Packet {
+	return &Packet{wire: wire}
+}
+
+// LooksLikePacket reports whether wire starts like an NDN Interest or Data
+// TLV. It is the cheap first-octet gate carriers use to decide whether a
+// frame is worth attaching a decode-once view to at all — the IP baselines
+// share the same medium with non-NDN payloads that should never pay for NDN
+// machinery.
+func LooksLikePacket(wire []byte) bool {
+	return len(wire) > 0 && (wire[0] == tlvInterest || wire[0] == tlvData)
+}
+
+// Wire returns the raw bytes the packet wraps (read-only).
+func (p *Packet) Wire() []byte { return p.wire }
+
+// parse decodes the wire on first use, dispatching on the outer TLV type
+// exactly like the per-node dispatch switches it replaces (0x05 Interest,
+// 0x06 Data; anything else is a malformed frame and drops).
+func (p *Packet) parse() {
+	if p.parsed {
+		return
+	}
+	p.parsed = true
+	if len(p.wire) == 0 {
+		p.err = fmt.Errorf("%w: empty frame", ErrBadPacket)
+		return
+	}
+	switch p.wire[0] {
+	case tlvInterest:
+		p.interest, p.err = DecodeInterest(p.wire)
+	case tlvData:
+		p.data, p.err = DecodeData(p.wire)
+	default:
+		p.err = fmt.Errorf("%w: unknown outer type %#x", ErrBadPacket, p.wire[0])
+	}
+}
+
+// Interest returns the decoded Interest, or nil when the frame is not a
+// well-formed Interest. All callers see the same *Interest instance.
+func (p *Packet) Interest() *Interest {
+	p.parse()
+	return p.interest
+}
+
+// Data returns the decoded Data packet, or nil when the frame is not a
+// well-formed Data. All callers see the same *Data instance.
+func (p *Packet) Data() *Data {
+	p.parse()
+	return p.data
+}
+
+// Err returns the decode error, if any (nil for well-formed packets).
+func (p *Packet) Err() error {
+	p.parse()
+	return p.err
+}

@@ -20,6 +20,10 @@ import (
 // fresh). Interests with MustBeFresh skip stale entries; Interests without
 // it are served from stale entries as the NDN spec allows. Stale entries
 // are not proactively erased — LRU eviction alone bounds the store.
+//
+// The store keeps each packet's original wire: an inserted *ndn.Data caches
+// the frame it was decoded from (encode-once contract), so a cache hit
+// answers with those exact bytes and never pays a re-encode.
 type ContentStore struct {
 	capacity int
 	tree     *NameTree

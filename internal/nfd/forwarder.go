@@ -193,6 +193,8 @@ func (fw *Forwarder) ReceiveInterest(ingress *Face, interest *ndn.Interest) {
 		fw.stats.Suppressed++
 		return
 	}
+	// Encode-once: for an Interest that arrived off the wire this returns
+	// the received frame's bytes verbatim — the relay is zero-copy.
 	wire := interest.Encode()
 	for _, f := range egress {
 		if f == ingress {
@@ -233,31 +235,30 @@ func (fw *Forwarder) sendData(f *Face, data *ndn.Data) {
 	fw.stats.OutData++
 	f.OutData++
 	if f.transmit != nil {
+		// Encode-once: a CS hit or PIT-satisfying Data answers with its
+		// original wire (cached at decode or first encode), never a
+		// re-serialization.
 		f.transmit(data.Encode())
 	}
 }
 
 // Dispatch decodes a wire packet arriving on ingress and routes it to the
 // appropriate pipeline. Undecodable packets are dropped, as a real forwarder
-// drops garbled frames.
+// drops garbled frames. When the wire came off the broadcast medium, prefer
+// DispatchPacket with the frame's shared decode-once view.
 func (fw *Forwarder) Dispatch(ingress *Face, wire []byte) {
-	if len(wire) == 0 {
-		return
-	}
-	switch wire[0] {
-	case tlvInterestType:
-		if in, err := ndn.DecodeInterest(wire); err == nil {
-			fw.ReceiveInterest(ingress, in)
-		}
-	case tlvDataType:
-		if d, err := ndn.DecodeData(wire); err == nil {
-			fw.ReceiveData(ingress, d)
-		}
-	}
+	fw.DispatchPacket(ingress, ndn.NewPacket(wire))
 }
 
-// First-octet TLV types for dispatching (Interest = 0x05, Data = 0x06).
-const (
-	tlvInterestType = 0x05
-	tlvDataType     = 0x06
-)
+// DispatchPacket routes an already-wrapped (possibly already-parsed, possibly
+// shared) packet to the appropriate pipeline. The decode happens at most
+// once per transmission no matter how many forwarders hear it, and the
+// decoded packet keeps its wire form, so forwarding re-emits the received
+// bytes instead of re-encoding.
+func (fw *Forwarder) DispatchPacket(ingress *Face, pkt *ndn.Packet) {
+	if in := pkt.Interest(); in != nil {
+		fw.ReceiveInterest(ingress, in)
+	} else if d := pkt.Data(); d != nil {
+		fw.ReceiveData(ingress, d)
+	}
+}

@@ -15,6 +15,12 @@
 // the same events and RNG draws in the same order. The golden-trace suite
 // (internal/experiment and TestGridMatchesNaiveTrace here) enforces it. See
 // docs/PERFORMANCE.md.
+//
+// Delivery follows the zero-copy wire path: one broadcast creates one
+// immutable frame whose NDN parse is memoized (Frame.Packet), so the k
+// receivers of a transmission share a single decode instead of k independent
+// re-parses. See the Frame docs for the immutability contract this relies
+// on.
 package phy
 
 import (
@@ -24,17 +30,39 @@ import (
 	"time"
 
 	"dapes/internal/geo"
+	"dapes/internal/ndn"
 	"dapes/internal/sim"
 )
 
 // Frame is one on-air transmission delivered to a radio.
+//
+// Wire-path contract (docs/PERFORMANCE.md): a frame is immutable once it is
+// on the air. The Payload slice and the shared decoded packet behind
+// Packet() are the same objects for every receiver of the broadcast —
+// handlers must only read them. The contract is safe to rely on because the
+// sim kernel is single-threaded per trial and trials share no state.
 type Frame struct {
 	// From is the ID of the transmitting radio.
 	From int
-	// Payload is the application bytes carried by the frame.
+	// Payload is the application bytes carried by the frame (read-only).
 	Payload []byte
 	// Size is the on-air size in bytes (payload plus header overhead).
 	Size int
+
+	// pkt is the transmission's decode-once NDN view, created by the medium
+	// and shared by all receivers: whichever handler first asks for the
+	// Interest/Data triggers the single parse, everyone after gets the memo.
+	pkt *ndn.Packet
+}
+
+// Packet returns the frame's decode-once NDN packet view, shared across
+// every receiver of the broadcast. Frames constructed outside the medium
+// (zero value, tests) fall back to an unshared per-call view.
+func (f Frame) Packet() *ndn.Packet {
+	if f.pkt == nil {
+		return ndn.NewPacket(f.Payload)
+	}
+	return f.pkt
 }
 
 // Handler consumes frames successfully received by a radio.
@@ -458,11 +486,20 @@ func (m *Medium) BroadcastNotify(r *Radio, payload []byte, notify func(collided 
 	}
 
 	frame := Frame{From: r.id, Payload: payload, Size: size}
+	cands := m.candidatesInRange(r)
+	if len(cands) > 0 && ndn.LooksLikePacket(payload) {
+		// One decode-once packet per transmission, shared by every receiver
+		// below (all their completion closures capture this frame value).
+		// Non-NDN traffic (the IP baselines' routing and transport frames)
+		// skips the attachment: its handlers never ask for the NDN view, so
+		// it should not pay even the wrapper allocation.
+		frame.pkt = ndn.NewPacket(payload)
+	}
 	var receptions []*reception
 	if notify != nil {
 		receptions = m.newRecList()
 	}
-	for _, rx := range m.candidatesInRange(r) {
+	for _, rx := range cands {
 		rec := m.newReception(start, end, notify != nil)
 		// Overlap with any in-flight reception garbles both.
 		for _, other := range rx.inFlight {

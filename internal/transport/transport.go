@@ -56,8 +56,13 @@ type Reliable struct {
 
 	nextID  uint32
 	pending map[uint32]*outstanding
-	seen    map[int]map[uint32]bool // src -> delivered message IDs
-	onRecv  func(src int, payload []byte)
+	// seen tracks delivered message IDs per source. Entries are compacted
+	// once a sender can no longer retransmit them (see seenTTL), so the
+	// state is bounded by the duplicate window instead of growing with
+	// every message ever delivered — the same fix the phy layer's
+	// txWindows needed for transmit-heavy radios.
+	seen   map[int]*seenSet
+	onRecv func(src int, payload []byte)
 
 	// Retransmissions counts timeout-driven resends (TCP-style overhead).
 	Retransmissions uint64
@@ -83,7 +88,7 @@ func NewReliable(k *sim.Kernel, router routing.Router, cfg Config) *Reliable {
 		router:  router,
 		cfg:     cfg.withDefaults(),
 		pending: make(map[uint32]*outstanding),
-		seen:    make(map[int]map[uint32]bool),
+		seen:    make(map[int]*seenSet),
 	}
 	router.SetDeliver(r.onRouterDeliver)
 	return r
@@ -155,15 +160,25 @@ func (r *Reliable) onRouterDeliver(src int, payload []byte) {
 			r.router.Send(src, ack)
 		})
 
-		set, ok := r.seen[src]
+		s, ok := r.seen[src]
 		if !ok {
-			set = make(map[uint32]bool)
-			r.seen[src] = set
+			s = &seenSet{ids: make(map[uint32]time.Duration)}
+			r.seen[src] = s
 		}
-		if set[id] {
+		now := r.k.Now()
+		_, dup := s.ids[id]
+		s.ids[id] = now
+		if len(s.ids) >= seenCompactLen && now >= s.nextSweep {
+			r.compactSeen(s.ids, now)
+			// One sweep per TTL at most: when every entry is still inside
+			// its duplicate window the sweep frees nothing, and retrying it
+			// on each delivery would turn the O(1) dup check into an
+			// O(live-window) scan per message.
+			s.nextSweep = now + r.seenTTL()
+		}
+		if dup {
 			return // duplicate
 		}
-		set[id] = true
 		if r.onRecv != nil {
 			r.onRecv(src, payload[5:])
 		}
@@ -182,6 +197,44 @@ func (r *Reliable) onRouterDeliver(src int, payload []byte) {
 
 // Pending returns the number of unacknowledged messages.
 func (r *Reliable) Pending() int { return len(r.pending) }
+
+// seenSet is one source's duplicate-suppression state.
+type seenSet struct {
+	ids map[uint32]time.Duration // delivered ID -> last arrival time
+	// nextSweep is the earliest virtual time another compaction may run;
+	// it rate-limits sweeps to one per seenTTL so a live window larger
+	// than seenCompactLen cannot trigger a full scan on every delivery.
+	nextSweep time.Duration
+}
+
+// seenCompactLen is the per-source size at which the duplicate-suppression
+// set becomes eligible for compaction (size alone does not trigger a sweep;
+// see seenSet.nextSweep). The threshold is far above the live window of any
+// simulated workload, so steady state never sweeps; sustained workloads
+// whose live window genuinely exceeds it sweep at most once per TTL and are
+// bounded by live-window + one TTL of traffic.
+const seenCompactLen = 1024
+
+// seenTTL is how long a delivered message ID can still produce a duplicate:
+// the sender schedules each of its MaxRetries retransmissions at most
+// Jitter + 8·RTO (the backoff cap) after the previous one, so an ID whose
+// last arrival is older than this window is unreachable by any future
+// retransmission and safe to forget. One extra period absorbs in-flight
+// delivery latency.
+func (r *Reliable) seenTTL() time.Duration {
+	return time.Duration(r.cfg.MaxRetries+2) * (r.cfg.Jitter + 8*r.cfg.RTO)
+}
+
+// compactSeen drops IDs whose duplicate window has lapsed. Map iteration
+// order does not matter: each entry is judged only against the clock.
+func (r *Reliable) compactSeen(set map[uint32]time.Duration, now time.Duration) {
+	ttl := r.seenTTL()
+	for id, at := range set {
+		if now-at > ttl {
+			delete(set, id)
+		}
+	}
+}
 
 // Datagram is the unreliable service: a thin veneer over the router that
 // multiplexes with Reliable-format payloads (kind byte 0).

@@ -161,3 +161,71 @@ func TestReliableOverDSRInvalidatesRoutesOnFailure(t *testing.T) {
 		t.Fatal("broken route not invalidated")
 	}
 }
+
+// TestSeenBoundedOverLongTrials is the regression test for unbounded growth
+// of the per-source duplicate-suppression map, mirroring the phy txWindows
+// fix from PR 2: a receiver that handles 10k+ messages from one source must
+// compact IDs whose retransmission window has lapsed instead of remembering
+// every message ever delivered — while still delivering each message exactly
+// once.
+func TestSeenBoundedOverLongTrials(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(67)
+	a, b := dsdvPair(k, 0)
+	ra := NewReliable(k, a, Config{RTO: 50 * time.Millisecond, MaxRetries: 2, Jitter: 5 * time.Millisecond})
+	rb := NewReliable(k, b, Config{RTO: 50 * time.Millisecond, MaxRetries: 2, Jitter: 5 * time.Millisecond})
+
+	delivered := 0
+	rb.SetReceive(func(int, []byte) { delivered++ })
+	k.Run(30 * time.Second) // converge routes
+
+	const n = 10000
+	maxSeen := 0
+	for i := 0; i < n; i++ {
+		k.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			ra.Send(b.ID(), []byte("m"), nil)
+			if s := rb.seen[a.ID()]; s != nil && len(s.ids) > maxSeen {
+				maxSeen = len(s.ids)
+			}
+		})
+	}
+	k.Run(5 * time.Minute)
+
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+	if maxSeen == 0 {
+		t.Fatal("seen map never populated; test is vacuous")
+	}
+	// At this workload the live window (~msg rate x seenTTL) is far below
+	// the compaction threshold, so the sweep's one-per-TTL rate limit never
+	// delays it and the set stays under the threshold throughout.
+	if l := len(rb.seen[a.ID()].ids); l > seenCompactLen {
+		t.Errorf("seen holds %d IDs after %d messages, want <= %d", l, n, seenCompactLen)
+	}
+	if maxSeen > seenCompactLen {
+		t.Errorf("seen peaked at %d IDs, want <= %d", maxSeen, seenCompactLen)
+	}
+}
+
+// TestSeenCompactionKeepsLiveWindow pins the safety side of the compaction:
+// an ID inside the retransmission window survives a sweep (a late duplicate
+// must still be suppressed), while an ID beyond it is dropped.
+func TestSeenCompactionKeepsLiveWindow(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(68)
+	a, _ := dsdvPair(k, 0)
+	r := NewReliable(k, a, Config{RTO: 50 * time.Millisecond, MaxRetries: 2, Jitter: 5 * time.Millisecond})
+
+	set := map[uint32]time.Duration{
+		1: 0,               // ancient: must be dropped
+		2: r.seenTTL() / 2, // inside the window: must survive
+	}
+	r.compactSeen(set, r.seenTTL()+time.Millisecond)
+	if _, ok := set[1]; ok {
+		t.Error("expired ID survived compaction")
+	}
+	if _, ok := set[2]; !ok {
+		t.Error("live ID dropped by compaction; late duplicates would re-deliver")
+	}
+}
