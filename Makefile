@@ -26,26 +26,29 @@ bench:
 bench-nfd:
 	$(GO) test -run=NONE -bench='BenchmarkCsPrefixFind|BenchmarkFibLookup' -benchmem -benchtime=300ms ./internal/nfd/
 
-# Machine-readable perf snapshot: wire-path and dense-broadcast
-# micro-benches plus download time and total allocations for the dense
-# urban-grid scenarios, as stable JSON. BENCH_4.json is the checked-in
-# perf-trajectory entry for the zero-copy wire path PR; regenerate it with
-# this target when a PR intentionally moves the numbers.
+# Machine-readable perf snapshot: wire-path, dense-broadcast, and
+# event-kernel micro-benches (heap-vs-wheel churn, Timer.Reset) plus
+# download time and total allocations for the dense urban-grid scenarios,
+# as stable JSON. BENCH_5.json is the checked-in perf-trajectory entry for
+# the timer-wheel kernel PR (BENCH_4.json is the zero-copy wire path's);
+# regenerate it with this target when a PR intentionally moves the numbers.
 bench-json:
-	$(GO) run ./cmd/bench-snapshot -issue 4 -o BENCH_4.json
-	@cat BENCH_4.json
+	$(GO) run ./cmd/bench-snapshot -issue 5 -o BENCH_5.json
+	@cat BENCH_5.json
 
 # The perf gate CI runs: re-measures and FAILS if the hardware-independent
-# alloc numbers (wire allocs/op exactly, phy +2 slack, scenario totals +50%)
-# regressed against the committed BENCH_4.json. Times never gate — they move
-# with hardware.
+# alloc numbers (wire and kernel allocs/op exactly — Timer.Reset is pinned
+# at 0 — phy +2 slack, scenario totals +50%) regressed against the
+# committed BENCH_5.json. Times never gate — they move with hardware.
 bench-check:
-	$(GO) run ./cmd/bench-snapshot -issue 4 -check BENCH_4.json
+	$(GO) run ./cmd/bench-snapshot -issue 5 -check BENCH_5.json
 
-# The determinism gates: grid==naive byte-identical for every registered
-# scenario, baselines identical across reruns, and the forwarder's
+# The determinism gates: grid==naive and wheel==heap byte-identical for
+# every registered scenario, baselines identical across reruns, the
+# kernel's randomized-churn equivalence property, and the forwarder's
 # zero-alloc lookup contract.
 golden:
-	$(GO) test -run 'TestGoldenTraceGridMatchesNaive|TestBaselineTrialsDeterministic' -count=1 ./internal/experiment/
+	$(GO) test -run 'TestGoldenTraceGridMatchesNaive|TestGoldenTraceWheelMatchesHeap|TestBaselineTrialsDeterministic' -count=1 ./internal/experiment/
 	$(GO) test -run 'TestGridMatchesNaiveTrace' -count=1 ./internal/phy/
+	$(GO) test -run 'TestWheelMatchesHeapUnderChurn|TestCancelReclaimsQueueSpace|TestTimerResetDoesNotAllocate' -count=1 ./internal/sim/
 	$(GO) test -run 'TestLookupPathsDoNotAllocate' -count=1 ./internal/nfd/

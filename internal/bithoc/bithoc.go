@@ -97,14 +97,32 @@ type Peer struct {
 	pieceSize int
 	have      *bitmap.Bitmap
 	peers     map[int]*peerInfo
-	inflight  map[int]*sim.Event // piece -> timeout
+	inflight  map[int]*pieceTimeout // piece -> timeout record
+	piecePool []*pieceTimeout       // reusable timeout records
 	helloSeq  int
 	seenHello map[int]int // origin -> highest seq relayed
 	fetching  bool
 	running   bool
-	helloEv   *sim.Event
+	helloT    *sim.Timer
 	doneAt    time.Duration
 	done      bool
+}
+
+// pieceTimeout re-arms an unanswered piece request. Records (and their
+// kernel timers) are pooled: nearly every request is answered before the
+// timeout, so the cancel path dominates and must not allocate.
+type pieceTimeout struct {
+	p     *Peer
+	t     *sim.Timer
+	piece int
+}
+
+func (pt *pieceTimeout) fire() {
+	p := pt.p
+	delete(p.inflight, pt.piece)
+	p.piecePool = append(p.piecePool, pt)
+	p.stats.RequestRetries++
+	p.pump()
 }
 
 // NewPeer attaches a Bithoc peer to the medium.
@@ -114,9 +132,10 @@ func NewPeer(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg Confi
 		medium:    medium,
 		cfg:       cfg.withDefaults(),
 		peers:     make(map[int]*peerInfo),
-		inflight:  make(map[int]*sim.Event),
+		inflight:  make(map[int]*pieceTimeout),
 		seenHello: make(map[int]int),
 	}
+	p.helloT = k.NewTimer(p.helloTick)
 	p.router = routing.NewDSDV(k, medium, mobility, p.cfg.DSDV)
 	p.radio = p.router.Radio()
 	p.reliable = transport.NewReliable(k, p.router, p.cfg.Transport)
@@ -184,16 +203,14 @@ func (p *Peer) Start() {
 	}
 	p.running = true
 	p.router.Start()
-	p.helloEv = p.k.Schedule(p.k.Jitter(p.cfg.HelloPeriod), p.helloTick)
+	p.helloT.Reset(p.k.Jitter(p.cfg.HelloPeriod))
 }
 
 // Stop deactivates the peer.
 func (p *Peer) Stop() {
 	p.running = false
 	p.router.Stop()
-	if p.helloEv != nil {
-		p.helloEv.Cancel()
-	}
+	p.helloT.Stop()
 }
 
 // --- HELLO flooding ---
@@ -208,7 +225,7 @@ func (p *Peer) helloTick() {
 		p.stats.HellosSent++
 		p.medium.Broadcast(p.radio, p.encodeHello(p.ID(), p.helloSeq, p.cfg.HelloTTL))
 	}
-	p.helloEv = p.k.Schedule(p.cfg.HelloPeriod+p.k.Jitter(p.cfg.HelloPeriod/4), p.helloTick)
+	p.helloT.Reset(p.cfg.HelloPeriod + p.k.Jitter(p.cfg.HelloPeriod/4))
 	p.pump()
 }
 
@@ -250,7 +267,7 @@ func (p *Peer) onHello(payload []byte) {
 		p.seenHello[origin] = seq
 		relay := append([]byte(nil), payload...)
 		relay[1] = byte(ttl - 1)
-		p.k.Schedule(p.k.Jitter(50*time.Millisecond), func() {
+		p.k.ScheduleFunc(p.k.Jitter(50*time.Millisecond), func() {
 			if !p.running {
 				return
 			}
@@ -331,11 +348,18 @@ func (p *Peer) requestPiece(piece, holder int) {
 	req = binary.BigEndian.AppendUint32(req, uint32(piece))
 	p.stats.RequestsSent++
 	p.reliable.Send(holder, req, nil)
-	p.inflight[piece] = p.k.Schedule(p.cfg.RequestTimeout, func() {
-		delete(p.inflight, piece)
-		p.stats.RequestRetries++
-		p.pump()
-	})
+	var pt *pieceTimeout
+	if n := len(p.piecePool); n > 0 {
+		pt = p.piecePool[n-1]
+		p.piecePool[n-1] = nil
+		p.piecePool = p.piecePool[:n-1]
+	} else {
+		pt = &pieceTimeout{p: p}
+		pt.t = p.k.NewTimer(pt.fire)
+	}
+	pt.piece = piece
+	p.inflight[piece] = pt
+	pt.t.Reset(p.cfg.RequestTimeout)
 }
 
 // --- Reliable receive path ---
@@ -362,17 +386,19 @@ func (p *Peer) onReliable(src int, payload []byte) {
 		}
 		p.have.Set(piece)
 		p.stats.PiecesReceived++
-		if ev, ok := p.inflight[piece]; ok {
-			ev.Cancel()
+		if pt, ok := p.inflight[piece]; ok {
+			pt.t.Stop()
 			delete(p.inflight, piece)
+			p.piecePool = append(p.piecePool, pt)
 		}
 		if p.have.Full() && !p.done {
 			p.done = true
 			p.doneAt = p.k.Now()
-			for _, ev := range p.inflight {
-				ev.Cancel()
+			for _, pt := range p.inflight {
+				pt.t.Stop()
+				p.piecePool = append(p.piecePool, pt)
 			}
-			p.inflight = make(map[int]*sim.Event)
+			p.inflight = make(map[int]*pieceTimeout)
 			return
 		}
 		p.pump()

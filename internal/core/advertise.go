@@ -18,8 +18,8 @@ func (p *Peer) touchSession(cs *collectionState) *advertSession {
 	if s.active && now-s.lastActivity > p.cfg.SessionTTL {
 		// Previous encounter ended: priority groups and heard-bitmap unions
 		// are per encounter (Section IV-F).
-		if s.pendingTx != nil {
-			s.pendingTx.Cancel()
+		if cs.txT != nil {
+			cs.txT.Stop()
 		}
 		*s = advertSession{}
 	}
@@ -50,7 +50,7 @@ func (p *Peer) sendBitmapInterest(cs *collectionState) {
 			Bitmap:     cs.own,
 		}.encode(),
 	}
-	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+	p.k.ScheduleFunc(p.k.Jitter(p.cfg.TransmissionWindow), func() {
 		if !p.running {
 			return
 		}
@@ -77,9 +77,14 @@ func (p *Peer) handleBitmapInterest(in *ndn.Interest) {
 	}
 	p.observeAdvertisement(cs, payload, false)
 	s := p.touchSession(cs)
-	if !s.transmitted && s.pendingTx == nil {
+	if !s.transmitted && !cs.txPending() {
 		p.scheduleBitmapTx(cs)
 	}
+}
+
+// txPending reports whether an advertisement transmission is armed.
+func (cs *collectionState) txPending() bool {
+	return cs.txT != nil && cs.txT.Pending()
 }
 
 // handleBitmapData processes an advertisement transmission heard on air.
@@ -105,9 +110,8 @@ func (p *Peer) handleBitmapData(d *ndn.Data) {
 
 	// Paper's Fig.-5 example: hearing a bitmap cancels the current pending
 	// transmission and reschedules with the updated missing set.
-	if s.pendingTx != nil {
-		s.pendingTx.Cancel()
-		s.pendingTx = nil
+	if cs.txPending() {
+		cs.txT.Stop()
 		p.scheduleBitmapTx(cs)
 	}
 	p.maybeStartFetch(cs)
@@ -171,18 +175,20 @@ func (p *Peer) priorityFraction(cs *collectionState) float64 {
 }
 
 // scheduleBitmapTx arms this peer's advertisement transmission using the
-// prioritized delay (PEBA or the linear ablation).
+// prioritized delay (PEBA or the linear ablation). The timer is created
+// once per collection: the exchange cancels and re-arms it on nearly every
+// bitmap heard, which must not allocate.
 func (p *Peer) scheduleBitmapTx(cs *collectionState) {
 	s := &cs.session
-	if s.transmitted || s.pendingTx != nil {
+	if s.transmitted || cs.txPending() {
 		return
 	}
 	frac := p.priorityFraction(cs)
 	delay := s.backoff.Delay(frac)
-	s.pendingTx = p.k.Schedule(delay, func() {
-		s.pendingTx = nil
-		p.transmitBitmap(cs)
-	})
+	if cs.txT == nil {
+		cs.txT = p.k.NewTimer(func() { p.transmitBitmap(cs) })
+	}
+	cs.txT.Reset(delay)
 }
 
 // transmitBitmap broadcasts this peer's bitmap with collision feedback; on
@@ -217,7 +223,7 @@ func (p *Peer) transmitBitmap(cs *collectionState) {
 		if p.cfg.UsePEBA {
 			s.backoff.OnCollision()
 		}
-		if s.pendingTx == nil && !s.transmitted {
+		if !cs.txPending() && !s.transmitted {
 			p.scheduleBitmapTx(cs)
 		}
 	})

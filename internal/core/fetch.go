@@ -11,6 +11,68 @@ import (
 // Interest scheduling, response suppression, verification against the
 // metadata, and completion tracking.
 
+// replyTimer is one pending Data reply awaiting its random transmission
+// slot. Records (and their kernel timers) are pooled per peer: response
+// suppression cancels replies constantly on a dense medium, and churn this
+// hot must not allocate a closure and event per reply.
+type replyTimer struct {
+	p       *Peer
+	t       *sim.Timer
+	key     string
+	d       *ndn.Data
+	counter *uint64
+}
+
+func (rt *replyTimer) fire() {
+	p := rt.p
+	d, counter := rt.d, rt.counter
+	delete(p.pendingReplies, rt.key)
+	rt.key, rt.d, rt.counter = "", nil, nil
+	p.replyPool = append(p.replyPool, rt)
+	if !p.running {
+		return
+	}
+	*counter++
+	p.medium.Broadcast(p.radio, d.Encode())
+}
+
+// releaseReply cancels a pending reply (response suppression) and recycles
+// its record.
+func (p *Peer) releaseReply(rt *replyTimer) {
+	rt.t.Stop()
+	delete(p.pendingReplies, rt.key)
+	rt.key, rt.d, rt.counter = "", nil, nil
+	p.replyPool = append(p.replyPool, rt)
+}
+
+// inflightTimer is one in-flight data Interest's reselection timeout,
+// pooled per peer like replyTimer: most Interests are answered (or
+// overheard) before the timeout, so the cancel path dominates.
+type inflightTimer struct {
+	p   *Peer
+	t   *sim.Timer
+	cs  *collectionState
+	idx int
+}
+
+func (it *inflightTimer) fire() {
+	p, cs, idx := it.p, it.cs, it.idx
+	delete(cs.inflight, idx)
+	it.cs = nil
+	p.inflightPool = append(p.inflightPool, it)
+	p.stats.InterestTimeouts++
+	p.fetchLoop(cs)
+}
+
+// releaseInflight cancels an in-flight Interest's timeout (the packet
+// arrived) and recycles its record.
+func (p *Peer) releaseInflight(it *inflightTimer) {
+	it.t.Stop()
+	delete(it.cs.inflight, it.idx)
+	it.cs = nil
+	p.inflightPool = append(p.inflightPool, it)
+}
+
 // maybeStartFetch begins (or resumes) the download pipeline according to the
 // advertisement exchange mode (Section IV-D / Figs. 9c-9d).
 func (p *Peer) maybeStartFetch(cs *collectionState) {
@@ -30,7 +92,7 @@ func (p *Peer) maybeStartFetch(cs *collectionState) {
 			if !p.allNeighborsHeard(cs) {
 				quietFor := p.k.Now() - s.lastActivity
 				if quietFor < p.cfg.SessionQuiet {
-					p.k.Schedule(p.cfg.SessionQuiet-quietFor, func() { p.maybeStartFetch(cs) })
+					p.k.ScheduleFunc(p.cfg.SessionQuiet-quietFor, func() { p.maybeStartFetch(cs) })
 					return
 				}
 			}
@@ -44,7 +106,7 @@ func (p *Peer) maybeStartFetch(cs *collectionState) {
 		}
 	}
 	cs.fetching = true
-	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() { p.fetchLoop(cs) })
+	p.k.ScheduleFunc(p.k.Jitter(p.cfg.TransmissionWindow), func() { p.fetchLoop(cs) })
 }
 
 // allNeighborsHeard reports whether every live neighbor has advertised a
@@ -80,7 +142,7 @@ func (p *Peer) fetchLoop(cs *collectionState) {
 		// Stalled: nothing eligible right now. Back off and re-advertise so
 		// fresh bitmaps can unblock us at the next encounter.
 		cs.fetching = false
-		p.k.Schedule(p.cfg.BeaconPeriodMin, func() {
+		p.k.ScheduleFunc(p.cfg.BeaconPeriodMin, func() {
 			if cs.done || cs.fetching || !p.running {
 				return
 			}
@@ -128,18 +190,25 @@ func (p *Peer) sendDataInterest(cs *collectionState, idx int) {
 	in := &ndn.Interest{Name: name, Nonce: p.newNonce()}
 	wire := in.Encode()
 	delay := p.k.Jitter(p.cfg.TransmissionWindow)
-	p.k.Schedule(delay, func() {
+	p.k.ScheduleFunc(delay, func() {
 		if !p.running || cs.own.Test(idx) {
 			return
 		}
 		p.stats.DataInterestsSent++
 		p.medium.Broadcast(p.radio, wire)
 	})
-	cs.inflight[idx] = p.k.Schedule(delay+p.cfg.InterestTimeout, func() {
-		delete(cs.inflight, idx)
-		p.stats.InterestTimeouts++
-		p.fetchLoop(cs)
-	})
+	var it *inflightTimer
+	if n := len(p.inflightPool); n > 0 {
+		it = p.inflightPool[n-1]
+		p.inflightPool[n-1] = nil
+		p.inflightPool = p.inflightPool[:n-1]
+	} else {
+		it = &inflightTimer{p: p}
+		it.t = p.k.NewTimer(it.fire)
+	}
+	it.cs, it.idx = cs, idx
+	cs.inflight[idx] = it
+	it.t.Reset(delay + p.cfg.InterestTimeout)
 }
 
 // handleContentInterest serves collection data and metadata this peer holds;
@@ -178,14 +247,18 @@ func (p *Peer) scheduleReply(d *ndn.Data, counter *uint64) {
 	if _, pending := p.pendingReplies[key]; pending {
 		return
 	}
-	p.pendingReplies[key] = p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
-		delete(p.pendingReplies, key)
-		if !p.running {
-			return
-		}
-		*counter++
-		p.medium.Broadcast(p.radio, d.Encode())
-	})
+	var rt *replyTimer
+	if n := len(p.replyPool); n > 0 {
+		rt = p.replyPool[n-1]
+		p.replyPool[n-1] = nil
+		p.replyPool = p.replyPool[:n-1]
+	} else {
+		rt = &replyTimer{p: p}
+		rt.t = p.k.NewTimer(rt.fire)
+	}
+	rt.key, rt.d, rt.counter = key, d, counter
+	p.pendingReplies[key] = rt
+	rt.t.Reset(p.k.Jitter(p.cfg.TransmissionWindow))
 }
 
 // handleContentData processes collection data and metadata heard on air —
@@ -264,18 +337,19 @@ func (p *Peer) storePacket(cs *collectionState, idx int, d *ndn.Data) {
 		cs.own.Set(idx)
 	}
 
-	if ev, ok := cs.inflight[idx]; ok {
-		ev.Cancel()
-		delete(cs.inflight, idx)
+	if it, ok := cs.inflight[idx]; ok {
+		p.releaseInflight(it)
 	}
 	if cs.subscribed && !cs.done && cs.complete() {
 		cs.done = true
 		cs.doneAt = p.k.Now()
 		cs.fetching = false
-		for _, ev := range cs.inflight {
-			ev.Cancel()
+		for _, it := range cs.inflight {
+			it.t.Stop()
+			it.cs = nil
+			p.inflightPool = append(p.inflightPool, it)
 		}
-		cs.inflight = make(map[int]*sim.Event)
+		cs.inflight = make(map[int]*inflightTimer)
 		if p.onComplete != nil {
 			p.onComplete(cs.collection, cs.doneAt)
 		}

@@ -98,14 +98,14 @@ func (p *Peer) forwardInterest(in *ndn.Interest) {
 	p.forwarded[key] = rec
 	// Encode-once: a received Interest relays its original frame bytes.
 	wire := in.Encode()
-	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+	p.k.ScheduleFunc(p.k.Jitter(p.cfg.TransmissionWindow), func() {
 		if !p.running {
 			return
 		}
 		p.stats.InterestsForwarded++
 		p.medium.Broadcast(p.radio, wire)
 	})
-	p.k.Schedule(p.cfg.SuppressTTL, func() {
+	p.k.ScheduleFunc(p.cfg.SuppressTTL, func() {
 		if !rec.answered {
 			p.suppressed[key] = p.k.Now() + p.cfg.SuppressTTL
 		}
@@ -128,7 +128,7 @@ func (p *Peer) maybeForwardData(d *ndn.Data) {
 	delete(p.suppressed, key)
 	// Encode-once: relay the Data frame exactly as it was received.
 	wire := d.Encode()
-	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+	p.k.ScheduleFunc(p.k.Jitter(p.cfg.TransmissionWindow), func() {
 		if !p.running {
 			return
 		}

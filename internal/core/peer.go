@@ -40,17 +40,23 @@ type Peer struct {
 	neighbors   map[int]*neighbor
 
 	beaconPeriod   time.Duration
-	beaconEv       *sim.Event
-	sweepEv        *sim.Event
+	beaconT        *sim.Timer
+	sweepT         *sim.Timer
 	recentActivity bool
 	lastReplyAt    time.Duration
 	replySeq       int
 	bitmapReqSeq   int
 
 	nonceSeen      map[uint32]time.Duration
-	pendingReplies map[string]*sim.Event
+	pendingReplies map[string]*replyTimer
 	forwarded      map[string]*forwardRecord
 	suppressed     map[string]time.Duration
+
+	// Pools of reusable timer records for the cancel-heavy per-packet
+	// paths: response-suppressed replies and in-flight Interest timeouts.
+	// Each record owns one kernel timer and one closure for its lifetime.
+	replyPool    []*replyTimer
+	inflightPool []*inflightTimer
 
 	running    bool
 	onComplete func(collection ndn.Name, at time.Duration)
@@ -69,10 +75,12 @@ func NewPeer(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, key *keys
 		collections:    make(map[string]*collectionState),
 		neighbors:      make(map[int]*neighbor),
 		nonceSeen:      make(map[uint32]time.Duration),
-		pendingReplies: make(map[string]*sim.Event),
+		pendingReplies: make(map[string]*replyTimer),
 		forwarded:      make(map[string]*forwardRecord),
 		suppressed:     make(map[string]time.Duration),
 	}
+	p.beaconT = k.NewTimer(p.beaconTick)
+	p.sweepT = k.NewTimer(p.sweepTick)
 	p.radio = medium.Attach(mobility)
 	p.id = p.radio.ID()
 	p.beaconPeriod = p.cfg.BeaconPeriodMin
@@ -101,19 +109,15 @@ func (p *Peer) Start() {
 		return
 	}
 	p.running = true
-	p.beaconEv = p.k.Schedule(p.k.Jitter(p.beaconPeriod), p.beaconTick)
-	p.sweepEv = p.k.Schedule(p.cfg.NeighborTTL/2, p.sweepTick)
+	p.beaconT.Reset(p.k.Jitter(p.beaconPeriod))
+	p.sweepT.Reset(p.cfg.NeighborTTL / 2)
 }
 
 // Stop halts beaconing; in-flight timers drain harmlessly.
 func (p *Peer) Stop() {
 	p.running = false
-	if p.beaconEv != nil {
-		p.beaconEv.Cancel()
-	}
-	if p.sweepEv != nil {
-		p.sweepEv.Cancel()
-	}
+	p.beaconT.Stop()
+	p.sweepT.Stop()
 }
 
 // Subscribe declares interest in any collection whose name matches prefix.
@@ -243,7 +247,7 @@ func (p *Peer) beaconTick() {
 		}
 	}
 	p.recentActivity = false
-	p.beaconEv = p.k.Schedule(p.beaconPeriod+p.k.Jitter(p.cfg.TransmissionWindow), p.beaconTick)
+	p.beaconT.Reset(p.beaconPeriod + p.k.Jitter(p.cfg.TransmissionWindow))
 }
 
 func (p *Peer) sendDiscoveryInterest() {
@@ -289,7 +293,7 @@ func (p *Peer) sweepTick() {
 			delete(p.forwarded, name)
 		}
 	}
-	p.sweepEv = p.k.Schedule(p.cfg.NeighborTTL/2, p.sweepTick)
+	p.sweepT.Reset(p.cfg.NeighborTTL / 2)
 }
 
 // neighborHeard refreshes (or creates) neighbor state, returning it.
@@ -356,10 +360,10 @@ func (p *Peer) handleInterest(from int, in *ndn.Interest) {
 func (p *Peer) handleData(from int, d *ndn.Data) {
 	p.neighborHeard(from)
 
-	// Response suppression: someone answered; cancel our pending reply.
-	if ev, ok := p.pendingReplies[d.Name.String()]; ok {
-		ev.Cancel()
-		delete(p.pendingReplies, d.Name.String())
+	// Response suppression: someone answered; cancel our pending reply and
+	// recycle its timer record.
+	if rt, ok := p.pendingReplies[d.Name.String()]; ok {
+		p.releaseReply(rt)
 	}
 
 	if responder, ok := isDiscoveryReply(d.Name); ok {
@@ -401,7 +405,7 @@ func (p *Peer) maybeSendDiscoveryReply() {
 		Content: discoveryPayload{MetadataNames: offers}.encode(),
 	}
 	d.SignDigest()
-	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+	p.k.ScheduleFunc(p.k.Jitter(p.cfg.TransmissionWindow), func() {
 		if !p.running {
 			return
 		}
@@ -466,9 +470,11 @@ func (p *Peer) wants(collection ndn.Name) bool {
 // --- Metadata retrieval (Section IV-C) ---
 
 // requestNextMetaSegment fetches the lowest missing metadata segment, with
-// timeout-driven retries while the collection remains wanted.
+// timeout-driven retries while the collection remains wanted. The retry
+// timer is created once per collection and re-armed across the whole
+// segment sequence.
 func (p *Peer) requestNextMetaSegment(cs *collectionState) {
-	if cs.manifest != nil || cs.metaPending != nil || cs.metaName == nil {
+	if cs.manifest != nil || cs.metaName == nil || (cs.metaT != nil && cs.metaT.Pending()) {
 		return
 	}
 	seq := 0
@@ -482,17 +488,17 @@ func (p *Peer) requestNextMetaSegment(cs *collectionState) {
 		return
 	}
 	in := &ndn.Interest{Name: cs.metaName.AppendSeq(seq), Nonce: p.newNonce()}
-	p.k.Schedule(p.k.Jitter(p.cfg.TransmissionWindow), func() {
+	p.k.ScheduleFunc(p.k.Jitter(p.cfg.TransmissionWindow), func() {
 		if !p.running || cs.manifest != nil {
 			return
 		}
 		p.stats.MetaInterestsSent++
 		p.medium.Broadcast(p.radio, in.Encode())
 	})
-	cs.metaPending = p.k.Schedule(p.cfg.InterestTimeout+p.cfg.TransmissionWindow, func() {
-		cs.metaPending = nil
-		p.requestNextMetaSegment(cs)
-	})
+	if cs.metaT == nil {
+		cs.metaT = p.k.NewTimer(func() { p.requestNextMetaSegment(cs) })
+	}
+	cs.metaT.Reset(p.cfg.InterestTimeout + p.cfg.TransmissionWindow)
 }
 
 // storeMetaSegment records a received metadata segment and assembles the
@@ -510,9 +516,8 @@ func (p *Peer) storeMetaSegment(cs *collectionState, seq int, d *ndn.Data) {
 	}
 	cs.metaSegs[seq] = d
 	cs.metaTotal = total
-	if cs.metaPending != nil {
-		cs.metaPending.Cancel()
-		cs.metaPending = nil
+	if cs.metaT != nil {
+		cs.metaT.Stop()
 	}
 	if len(cs.metaSegs) < total {
 		p.requestNextMetaSegment(cs)

@@ -20,14 +20,15 @@ type neighbor struct {
 }
 
 // advertSession is the per-encounter bitmap exchange state (Section IV-F):
-// the union of previously transmitted bitmaps, PEBA backoff, and this peer's
-// pending transmission. Sessions are reset per encounter.
+// the union of previously transmitted bitmaps and the PEBA backoff. Sessions
+// are reset per encounter; the pending transmission timer lives on the
+// collectionState (collectionState.txT) so the reusable timer survives the
+// per-encounter wipe.
 type advertSession struct {
 	active       bool
 	heardUnion   *bitmap.Bitmap
 	heardCount   int
 	transmitted  bool
-	pendingTx    *sim.Event
 	lastActivity time.Duration
 	backoff      *peba.Backoff
 	txSeq        int
@@ -38,10 +39,12 @@ type collectionState struct {
 	collection ndn.Name
 	metaName   ndn.Name // learned from discovery (or Publish)
 
-	// Metadata fetch progress.
-	metaSegs    map[int]*ndn.Data
-	metaTotal   int // -1 until the first segment reveals it
-	metaPending *sim.Event
+	// Metadata fetch progress. metaT is the segment-retry timer, created
+	// lazily and re-armed for the collection's whole life; armed (Pending)
+	// means a segment fetch is outstanding.
+	metaSegs  map[int]*ndn.Data
+	metaTotal int // -1 until the first segment reveals it
+	metaT     *sim.Timer
 
 	manifest *metadata.Manifest // nil until assembled and verified
 
@@ -58,9 +61,14 @@ type collectionState struct {
 	avail map[int]*bitmap.Bitmap
 
 	session advertSession
+	// txT arms this peer's prioritized advertisement transmission (armed =
+	// a bitmap transmission is pending). One timer per collection, reused
+	// across the constant cancel/reschedule churn of the PEBA exchange.
+	txT *sim.Timer
 
-	// inflight data Interests: global index -> timeout event.
-	inflight map[int]*sim.Event
+	// inflight data Interests: global index -> timeout record (pooled on
+	// the peer).
+	inflight map[int]*inflightTimer
 	fetching bool
 
 	startedAt  time.Duration
@@ -77,7 +85,7 @@ func newCollectionState(collection ndn.Name) *collectionState {
 		packets:    make(map[int]*ndn.Data),
 		unverified: make(map[int]map[int]*ndn.Data),
 		avail:      make(map[int]*bitmap.Bitmap),
-		inflight:   make(map[int]*sim.Event),
+		inflight:   make(map[int]*inflightTimer),
 	}
 }
 

@@ -105,15 +105,40 @@ type Node struct {
 
 	nextLookup uint32
 	lookups    map[uint32]*lookup
+	lookupPool []*lookup
 
 	// Messages counts DHT overlay messages sent (Ekta's search overhead).
 	Messages uint64
 }
 
+// lookup tracks one in-flight resolution. Records (and their timeout
+// timers) are pooled per node: the mobile overlay churns lookups
+// constantly, and each used to cost a closure plus an event per attempt.
 type lookup struct {
+	n      *Node
+	id     uint32
 	key    Key
-	timer  *sim.Event
+	t      *sim.Timer
 	onDone func(value []byte, holder int, ok bool)
+}
+
+// timeout fails an unanswered lookup.
+func (lk *lookup) timeout() {
+	n := lk.n
+	if n.lookups[lk.id] != lk {
+		return
+	}
+	delete(n.lookups, lk.id)
+	onDone := lk.onDone
+	n.releaseLookup(lk)
+	onDone(nil, 0, false)
+}
+
+// releaseLookup recycles a finished lookup record.
+func (n *Node) releaseLookup(lk *lookup) {
+	lk.t.Stop()
+	lk.onDone = nil
+	n.lookupPool = append(n.lookupPool, lk)
 }
 
 // migrationState tracks re-offers of a key to its closer owner: offers
@@ -231,15 +256,18 @@ func (n *Node) Lookup(key Key, onDone func(value []byte, holder int, ok bool)) {
 	}
 	n.nextLookup++
 	id := n.nextLookup
-	lk := &lookup{key: key, onDone: onDone}
+	var lk *lookup
+	if l := len(n.lookupPool); l > 0 {
+		lk = n.lookupPool[l-1]
+		n.lookupPool[l-1] = nil
+		n.lookupPool = n.lookupPool[:l-1]
+	} else {
+		lk = &lookup{n: n}
+		lk.t = n.k.NewTimer(lk.timeout)
+	}
+	lk.id, lk.key, lk.onDone = id, key, onDone
 	n.lookups[id] = lk
-	lk.timer = n.k.Schedule(n.cfg.LookupTimeout, func() {
-		if _, live := n.lookups[id]; !live {
-			return
-		}
-		delete(n.lookups, id)
-		onDone(nil, 0, false)
-	})
+	lk.t.Reset(n.cfg.LookupTimeout)
 	n.routeLookup(id, n.id, key)
 }
 
@@ -402,17 +430,18 @@ func (n *Node) handleFound(body []byte) {
 		return
 	}
 	delete(n.lookups, lookupID)
-	lk.timer.Cancel()
+	onDone := lk.onDone
+	n.releaseLookup(lk)
 	if body[8] == 0 {
-		lk.onDone(nil, 0, false)
+		onDone(nil, 0, false)
 		return
 	}
 	if len(body) < 13 {
-		lk.onDone(nil, 0, false)
+		onDone(nil, 0, false)
 		return
 	}
 	holder := int(binary.BigEndian.Uint32(body[9:13]))
-	lk.onDone(append([]byte(nil), body[13:]...), holder, true)
+	onDone(append([]byte(nil), body[13:]...), holder, true)
 }
 
 // LocalData returns the number of key/value pairs stored at this node.

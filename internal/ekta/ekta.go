@@ -75,11 +75,17 @@ type Stats struct {
 	PiecesReceived uint64
 }
 
+// pieceState tracks one in-flight piece (lookup, then datagram GETs). The
+// records — including their GET-timeout timer and its closure — are pooled
+// per peer; gen distinguishes successive uses of one record for the same
+// piece so a late lookup callback from an abandoned attempt stays inert.
 type pieceState struct {
+	p       *Peer
+	piece   int
 	holder  int
 	retries int
-	timer   *sim.Event
-	looking bool
+	gen     uint64
+	t       *sim.Timer
 }
 
 // Peer is one Ekta node.
@@ -96,10 +102,11 @@ type Peer struct {
 	pieceSize int
 	have      *bitmap.Bitmap
 	pending   map[int]*pieceState
+	piecePool []*pieceState
 	cooldown  map[int]time.Duration // piece -> retry-not-before
 	pumpCount int
 	running   bool
-	pumpEv    *sim.Event
+	pumpT     *sim.Timer
 	done      bool
 	doneAt    time.Duration
 }
@@ -112,6 +119,7 @@ func NewPeer(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg Confi
 		pending:  make(map[int]*pieceState),
 		cooldown: make(map[int]time.Duration),
 	}
+	p.pumpT = k.NewTimer(p.pumpTick)
 	p.router = routing.NewDSR(k, medium, mobility, p.cfg.DSR)
 	p.datagram = transport.NewDatagram(p.router)
 	p.node = dht.NewNode(k, p.router.ID(), p.datagram, p.cfg.DHT)
@@ -186,16 +194,14 @@ func (p *Peer) Start() {
 	}
 	p.running = true
 	p.router.Start()
-	p.pumpEv = p.k.Schedule(p.k.Jitter(p.cfg.PumpPeriod), p.pumpTick)
+	p.pumpT.Reset(p.k.Jitter(p.cfg.PumpPeriod))
 }
 
 // Stop deactivates the peer.
 func (p *Peer) Stop() {
 	p.running = false
 	p.router.Stop()
-	if p.pumpEv != nil {
-		p.pumpEv.Cancel()
-	}
+	p.pumpT.Stop()
 }
 
 func (p *Peer) pumpTick() {
@@ -211,7 +217,7 @@ func (p *Peer) pumpTick() {
 		}
 	}
 	p.pump()
-	p.pumpEv = p.k.Schedule(p.cfg.PumpPeriod+p.k.Jitter(p.cfg.PumpPeriod/4), p.pumpTick)
+	p.pumpT.Reset(p.cfg.PumpPeriod + p.k.Jitter(p.cfg.PumpPeriod/4))
 }
 
 // pump keeps Pipeline pieces in flight: DHT lookup, then datagram fetch.
@@ -235,53 +241,75 @@ func (p *Peer) pump() {
 }
 
 func (p *Peer) beginPiece(piece int) {
-	st := &pieceState{holder: -1, looking: true}
+	var st *pieceState
+	if n := len(p.piecePool); n > 0 {
+		st = p.piecePool[n-1]
+		p.piecePool[n-1] = nil
+		p.piecePool = p.piecePool[:n-1]
+	} else {
+		st = &pieceState{p: p}
+		st.t = p.k.NewTimer(st.timeout)
+	}
+	st.piece, st.holder, st.retries = piece, -1, 0
+	st.gen++
+	gen := st.gen
 	p.pending[piece] = st
 	p.stats.Lookups++
 	p.node.Lookup(pieceKey(p.swarm, piece), func(value []byte, _ int, ok bool) {
-		if p.pending[piece] != st {
+		if p.pending[piece] != st || st.gen != gen {
 			return
 		}
-		st.looking = false
 		if !ok || len(value) < 4 {
 			p.stats.LookupFailures++
-			delete(p.pending, piece)
+			p.releasePiece(st)
 			p.coolDown(piece)
 			return // retried after the cooldown
 		}
 		st.holder = int(binary.BigEndian.Uint32(value))
-		p.sendGet(piece, st)
+		p.sendGet(st)
 	})
 }
 
-func (p *Peer) sendGet(piece int, st *pieceState) {
+// releasePiece abandons an attempt and recycles its record.
+func (p *Peer) releasePiece(st *pieceState) {
+	st.t.Stop()
+	delete(p.pending, st.piece)
+	p.piecePool = append(p.piecePool, st)
+}
+
+func (p *Peer) sendGet(st *pieceState) {
 	get := []byte{msgGet}
-	get = binary.BigEndian.AppendUint32(get, uint32(piece))
+	get = binary.BigEndian.AppendUint32(get, uint32(st.piece))
 	p.stats.GetsSent++
 	p.datagram.Send(st.holder, get)
-	st.timer = p.k.Schedule(p.cfg.GetTimeout, func() {
-		if p.pending[piece] != st || p.have.Test(piece) {
-			return
-		}
-		st.retries++
-		if st.retries > p.cfg.MaxGetRetries {
-			// Holder unreachable: drop the stale route and retry via a
-			// fresh lookup after the cooldown.
-			p.router.InvalidateRoute(st.holder)
-			delete(p.pending, piece)
-			p.coolDown(piece)
-			p.pump()
-			return
-		}
-		if st.retries%2 == 0 {
-			// Mobility breaks cached source routes quickly; dropping the
-			// route forces rediscovery on the next attempt, standing in for
-			// DSR's route-error maintenance.
-			p.router.InvalidateRoute(st.holder)
-		}
-		p.stats.GetRetries++
-		p.sendGet(piece, st)
-	})
+	st.t.Reset(p.cfg.GetTimeout)
+}
+
+// timeout re-arms (or abandons) an unanswered GET.
+func (st *pieceState) timeout() {
+	p := st.p
+	if p.pending[st.piece] != st || p.have.Test(st.piece) {
+		return
+	}
+	st.retries++
+	if st.retries > p.cfg.MaxGetRetries {
+		// Holder unreachable: drop the stale route and retry via a
+		// fresh lookup after the cooldown.
+		p.router.InvalidateRoute(st.holder)
+		piece := st.piece
+		p.releasePiece(st)
+		p.coolDown(piece)
+		p.pump()
+		return
+	}
+	if st.retries%2 == 0 {
+		// Mobility breaks cached source routes quickly; dropping the
+		// route forces rediscovery on the next attempt, standing in for
+		// DSR's route-error maintenance.
+		p.router.InvalidateRoute(st.holder)
+	}
+	p.stats.GetRetries++
+	p.sendGet(st)
 }
 
 // coolDown defers re-attempts of a failed piece, with jitter so peers do not
@@ -313,10 +341,7 @@ func (p *Peer) onDatagram(src int, payload []byte) {
 		p.have.Set(piece)
 		p.stats.PiecesReceived++
 		if st, ok := p.pending[piece]; ok {
-			if st.timer != nil {
-				st.timer.Cancel()
-			}
-			delete(p.pending, piece)
+			p.releasePiece(st)
 		}
 		// Ekta peers become additional holders; publish so later lookups
 		// can find a closer copy.
@@ -326,9 +351,8 @@ func (p *Peer) onDatagram(src int, payload []byte) {
 			p.done = true
 			p.doneAt = p.k.Now()
 			for _, st := range p.pending {
-				if st.timer != nil {
-					st.timer.Cancel()
-				}
+				st.t.Stop()
+				p.piecePool = append(p.piecePool, st)
 			}
 			p.pending = make(map[int]*pieceState)
 			return

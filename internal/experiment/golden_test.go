@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dapes/internal/phy"
+	"dapes/internal/sim"
 )
 
 // goldenScale keeps every scenario cheap enough to run twice per test while
@@ -79,6 +80,61 @@ func TestGoldenTraceGridMatchesNaive(t *testing.T) {
 			}
 			// Guard against a degenerate world where equivalence is vacuous.
 			if naiveRes.Trials[0].Transmissions == 0 {
+				t.Error("golden run put no frames on the air; scale too small to prove anything")
+			}
+		})
+	}
+}
+
+// TestGoldenTraceWheelMatchesHeap is the event-kernel acceptance gate: for
+// every registered scenario, the timer-wheel scheduler must reproduce the
+// reference binary heap exactly — identical per-trial metrics and
+// byte-identical emitted JSON. Any divergence means the wheel changed event
+// execution order, which it must never do: both queues pop strictly by
+// (time, sequence), so the trace is queue-independent by construction.
+//
+// Like the spatial-index gate above, the test flips the package-wide
+// default; both kinds are equivalent, so concurrent tests cannot observe
+// the flip (the knob is atomic).
+func TestGoldenTraceWheelMatchesHeap(t *testing.T) {
+	s := goldenScale()
+	prev := sim.SetDefaultQueue(sim.QueueHeap)
+	defer sim.SetDefaultQueue(prev)
+
+	run := func(t *testing.T, sc *Scenario, kind sim.QueueKind) (RunResult, []byte) {
+		t.Helper()
+		sim.SetDefaultQueue(kind)
+		res, err := Runner{Workers: 1}.Run(sc, s, 60)
+		if err != nil {
+			t.Fatalf("queue %d: %v", kind, err)
+		}
+		var buf bytes.Buffer
+		if err := EmitRun(&buf, FormatJSON, res); err != nil {
+			t.Fatalf("emit: %v", err)
+		}
+		return res, buf.Bytes()
+	}
+
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			heapRes, heapJSON := run(t, sc, sim.QueueHeap)
+			wheelRes, wheelJSON := run(t, sc, sim.QueueWheel)
+
+			if !reflect.DeepEqual(heapRes, wheelRes) {
+				t.Errorf("RunResult diverged\nheap:  %+v\nwheel: %+v", heapRes, wheelRes)
+			}
+			for i := range heapRes.Trials {
+				if heapRes.Trials[i] != wheelRes.Trials[i] {
+					t.Errorf("trial %d diverged\nheap:  %+v\nwheel: %+v",
+						i, heapRes.Trials[i], wheelRes.Trials[i])
+				}
+			}
+			if !bytes.Equal(heapJSON, wheelJSON) {
+				t.Errorf("emitted JSON diverged\nheap:  %s\nwheel: %s", heapJSON, wheelJSON)
+			}
+			// Guard against a degenerate world where equivalence is vacuous.
+			if heapRes.Trials[0].Transmissions == 0 {
 				t.Error("golden run put no frames on the air; scale too small to prove anything")
 			}
 		})

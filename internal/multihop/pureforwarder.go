@@ -72,9 +72,41 @@ type PureForwarder struct {
 	nonceSeen      map[uint32]time.Duration
 	forwarded      map[string]*forwardRecord
 	suppressed     map[string]time.Duration
-	pendingReplies map[string]*sim.Event
+	pendingReplies map[string]*replyTimer
+	replyPool      []*replyTimer
 	running        bool
-	sweepEv        *sim.Event
+	sweepT         *sim.Timer
+}
+
+// replyTimer is one cached-Data reply awaiting its transmission slot.
+// Records (and their kernel timers) are pooled: response suppression
+// cancels replies constantly on a dense medium.
+type replyTimer struct {
+	f   *PureForwarder
+	t   *sim.Timer
+	key string
+	d   *ndn.Data
+}
+
+func (rt *replyTimer) fire() {
+	f := rt.f
+	d := rt.d
+	delete(f.pendingReplies, rt.key)
+	rt.key, rt.d = "", nil
+	f.replyPool = append(f.replyPool, rt)
+	if !f.running {
+		return
+	}
+	f.stats.CsReplies++
+	f.medium.Broadcast(f.radio, d.Encode())
+}
+
+// releaseReply cancels a pending reply and recycles its record.
+func (f *PureForwarder) releaseReply(rt *replyTimer) {
+	rt.t.Stop()
+	delete(f.pendingReplies, rt.key)
+	rt.key, rt.d = "", nil
+	f.replyPool = append(f.replyPool, rt)
 }
 
 type forwardRecord struct {
@@ -94,8 +126,9 @@ func NewPureForwarder(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, 
 		nonceSeen:      make(map[uint32]time.Duration),
 		forwarded:      make(map[string]*forwardRecord),
 		suppressed:     make(map[string]time.Duration),
-		pendingReplies: make(map[string]*sim.Event),
+		pendingReplies: make(map[string]*replyTimer),
 	}
+	f.sweepT = k.NewTimer(f.sweep)
 	// The store shares the kernel clock so NDN freshness works here too: a
 	// MustBeFresh Interest is never answered from a cache entry whose
 	// FreshnessPeriod has lapsed (DAPES traffic never sets MustBeFresh, so
@@ -123,15 +156,13 @@ func (f *PureForwarder) Start() {
 		return
 	}
 	f.running = true
-	f.sweepEv = f.k.Schedule(f.cfg.SuppressTTL, f.sweep)
+	f.sweepT.Reset(f.cfg.SuppressTTL)
 }
 
 // Stop deactivates the node.
 func (f *PureForwarder) Stop() {
 	f.running = false
-	if f.sweepEv != nil {
-		f.sweepEv.Cancel()
-	}
+	f.sweepT.Stop()
 }
 
 func (f *PureForwarder) sweep() {
@@ -154,7 +185,7 @@ func (f *PureForwarder) sweep() {
 			delete(f.nonceSeen, nonce)
 		}
 	}
-	f.sweepEv = f.k.Schedule(f.cfg.SuppressTTL, f.sweep)
+	f.sweepT.Reset(f.cfg.SuppressTTL)
 }
 
 // onFrame dispatches through the frame's decode-once packet view, sharing
@@ -206,14 +237,14 @@ func (f *PureForwarder) onInterest(in *ndn.Interest) {
 	f.forwarded[key] = rec
 	// Encode-once: a received Interest relays its original frame bytes.
 	wire := in.Encode()
-	f.k.Schedule(f.k.Jitter(f.cfg.TransmissionWindow), func() {
+	f.k.ScheduleFunc(f.k.Jitter(f.cfg.TransmissionWindow), func() {
 		if !f.running {
 			return
 		}
 		f.stats.InterestsForwarded++
 		f.medium.Broadcast(f.radio, wire)
 	})
-	f.k.Schedule(f.cfg.SuppressTTL, func() {
+	f.k.ScheduleFunc(f.cfg.SuppressTTL, func() {
 		if !rec.answered {
 			f.suppressed[key] = f.k.Now() + f.cfg.SuppressTTL
 		}
@@ -229,22 +260,25 @@ func (f *PureForwarder) scheduleReply(d *ndn.Data) {
 	if _, pending := f.pendingReplies[key]; pending {
 		return
 	}
-	f.pendingReplies[key] = f.k.Schedule(f.k.Jitter(f.cfg.TransmissionWindow), func() {
-		delete(f.pendingReplies, key)
-		if !f.running {
-			return
-		}
-		f.stats.CsReplies++
-		f.medium.Broadcast(f.radio, d.Encode())
-	})
+	var rt *replyTimer
+	if n := len(f.replyPool); n > 0 {
+		rt = f.replyPool[n-1]
+		f.replyPool[n-1] = nil
+		f.replyPool = f.replyPool[:n-1]
+	} else {
+		rt = &replyTimer{f: f}
+		rt.t = f.k.NewTimer(rt.fire)
+	}
+	rt.key, rt.d = key, d
+	f.pendingReplies[key] = rt
+	rt.t.Reset(f.k.Jitter(f.cfg.TransmissionWindow))
 }
 
 func (f *PureForwarder) onData(d *ndn.Data) {
 	key := d.Name.String()
 	// Response suppression: someone else answered.
-	if ev, ok := f.pendingReplies[key]; ok {
-		ev.Cancel()
-		delete(f.pendingReplies, key)
+	if rt, ok := f.pendingReplies[key]; ok {
+		f.releaseReply(rt)
 	}
 	// Cache every overheard transmission (Section V-A).
 	f.cs.Insert(d)
@@ -261,7 +295,7 @@ func (f *PureForwarder) onData(d *ndn.Data) {
 	delete(f.suppressed, rec.name.String())
 	// Encode-once: relay the Data frame exactly as it was received.
 	wire := d.Encode()
-	f.k.Schedule(f.k.Jitter(f.cfg.TransmissionWindow), func() {
+	f.k.ScheduleFunc(f.k.Jitter(f.cfg.TransmissionWindow), func() {
 		if !f.running {
 			return
 		}

@@ -58,7 +58,7 @@ type DSDV struct {
 	ownSeq  int
 	deliver func(src int, payload []byte)
 	running bool
-	tick    *sim.Event
+	tick    *sim.Timer
 	ctrlTx  uint64
 	dataTx  uint64
 }
@@ -73,6 +73,7 @@ func NewDSDV(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg DSDVC
 		cfg:    cfg.withDefaults(),
 		table:  make(map[int]dsdvRoute),
 	}
+	d.tick = k.NewTimer(d.periodicUpdate)
 	d.radio = medium.Attach(mobility)
 	d.id = d.radio.ID()
 	d.radio.SetHandler(d.onFrame)
@@ -81,7 +82,7 @@ func NewDSDV(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg DSDVC
 
 // transmit broadcasts wire after the MAC-backoff jitter.
 func (d *DSDV) transmit(wire []byte) {
-	d.k.Schedule(d.k.Jitter(d.cfg.TxJitter), func() {
+	d.k.ScheduleFunc(d.k.Jitter(d.cfg.TxJitter), func() {
 		d.medium.Broadcast(d.radio, wire)
 	})
 }
@@ -118,15 +119,13 @@ func (d *DSDV) Start() {
 		return
 	}
 	d.running = true
-	d.tick = d.k.Schedule(d.k.Jitter(d.cfg.UpdatePeriod), d.periodicUpdate)
+	d.tick.Reset(d.k.Jitter(d.cfg.UpdatePeriod))
 }
 
 // Stop implements Router.
 func (d *DSDV) Stop() {
 	d.running = false
-	if d.tick != nil {
-		d.tick.Cancel()
-	}
+	d.tick.Stop()
 }
 
 // periodicUpdate broadcasts the full routing table — DSDV's defining (and
@@ -141,7 +140,7 @@ func (d *DSDV) periodicUpdate() {
 	f := &frame{Proto: protoDSDVUpdate, Src: d.id, Dst: Broadcast, NextHop: Broadcast, Payload: payload}
 	d.ctrlTx++
 	d.transmit(f.encode())
-	d.tick = d.k.Schedule(d.cfg.UpdatePeriod+d.k.Jitter(d.cfg.UpdatePeriod/4), d.periodicUpdate)
+	d.tick.Reset(d.cfg.UpdatePeriod + d.k.Jitter(d.cfg.UpdatePeriod/4))
 }
 
 // expireStale invalidates routes whose next hop has gone quiet.

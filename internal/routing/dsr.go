@@ -68,10 +68,13 @@ type cachedRoute struct {
 	since time.Duration
 }
 
+// pendingDiscovery buffers payloads awaiting a route. Its retry timer is a
+// reusable sim.Timer re-armed per discovery round instead of a fresh
+// closure and event per round.
 type pendingDiscovery struct {
 	payloads [][]byte
 	retries  int
-	timer    *sim.Event
+	timer    *sim.Timer
 }
 
 // DSR is a dynamic source routing node.
@@ -117,7 +120,7 @@ func (d *DSR) ID() int { return d.id }
 
 // transmit broadcasts wire after the MAC-backoff jitter.
 func (d *DSR) transmit(wire []byte) {
-	d.k.Schedule(d.k.Jitter(d.cfg.TxJitter), func() {
+	d.k.ScheduleFunc(d.k.Jitter(d.cfg.TxJitter), func() {
 		d.medium.Broadcast(d.radio, wire)
 	})
 }
@@ -127,7 +130,7 @@ func (d *DSR) transmit(wire []byte) {
 func (d *DSR) transmitRepeated(wire []byte, count *uint64) {
 	for i := 0; i < d.cfg.HopRepeats; i++ {
 		delay := time.Duration(i)*d.cfg.TxJitter + d.k.Jitter(d.cfg.TxJitter)
-		d.k.Schedule(delay, func() {
+		d.k.ScheduleFunc(delay, func() {
 			*count++
 			d.medium.Broadcast(d.radio, wire)
 		})
@@ -195,6 +198,7 @@ func (d *DSR) Send(dst int, payload []byte) bool {
 	p, ok := d.pending[dst]
 	if !ok {
 		p = &pendingDiscovery{}
+		p.timer = d.k.NewTimer(func() { d.discoveryTimeout(dst, p) })
 		d.pending[dst] = p
 		d.launchDiscovery(dst, p)
 	}
@@ -224,17 +228,20 @@ func (d *DSR) launchDiscovery(dst int, p *pendingDiscovery) {
 	d.ctrlTx++
 	d.transmit(f.encode())
 
-	p.timer = d.k.Schedule(d.cfg.DiscoveryTimeout, func() {
-		if d.HasRoute(dst) {
-			return
-		}
-		p.retries++
-		if p.retries >= d.cfg.MaxDiscoveryRetries {
-			delete(d.pending, dst) // drop buffered payloads
-			return
-		}
-		d.launchDiscovery(dst, p)
-	})
+	p.timer.Reset(d.cfg.DiscoveryTimeout)
+}
+
+// discoveryTimeout retries (or abandons) an unanswered route discovery.
+func (d *DSR) discoveryTimeout(dst int, p *pendingDiscovery) {
+	if d.pending[dst] != p || d.HasRoute(dst) {
+		return
+	}
+	p.retries++
+	if p.retries >= d.cfg.MaxDiscoveryRetries {
+		delete(d.pending, dst) // drop buffered payloads
+		return
+	}
+	d.launchDiscovery(dst, p)
 }
 
 func (d *DSR) markSeen(origin, id int) bool {
@@ -358,7 +365,7 @@ func (d *DSR) handleRREQ(f *frame) {
 		TTL: f.TTL - 1, Route: route, Payload: f.Payload,
 	}
 	wire := fwd.encode()
-	d.k.Schedule(d.k.Jitter(d.cfg.FloodJitter), func() {
+	d.k.ScheduleFunc(d.k.Jitter(d.cfg.FloodJitter), func() {
 		d.ctrlTx++
 		d.medium.Broadcast(d.radio, wire)
 	})
@@ -395,9 +402,7 @@ func (d *DSR) handleRREP(f *frame) {
 		// f.Route is origin..target in request direction.
 		d.routes[f.Route[len(f.Route)-1]] = cachedRoute{hops: f.Route, since: d.k.Now()}
 		if p, ok := d.pending[f.Route[len(f.Route)-1]]; ok {
-			if p.timer != nil {
-				p.timer.Cancel()
-			}
+			p.timer.Stop()
 			delete(d.pending, f.Route[len(f.Route)-1])
 			for _, payload := range p.payloads {
 				d.sendAlong(f.Route, payload)

@@ -1,15 +1,22 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // The kernel drives every experiment in this repository: a single virtual
-// clock, a binary-heap event queue, and a seeded random number generator.
-// Two runs with the same seed execute the same event trace, which makes
+// clock, a pending-event queue, and a seeded random number generator. Two
+// runs with the same seed execute the same event trace, which makes
 // experiments reproducible and testable.
+//
+// The queue is a hierarchical timer wheel by default (O(1) schedule and
+// cancel; see wheel.go), with the reference binary heap selectable via
+// SetDefaultQueue / NewKernelWithQueue. Both orderings are total — events
+// fire strictly by (time, sequence) — so the two backends produce
+// byte-identical traces; the golden-trace suite in internal/experiment
+// enforces that for every registered scenario.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,65 +24,123 @@ import (
 // before the event queue drained or the horizon was reached.
 var ErrStopped = errors.New("simulation stopped")
 
-// Event is a scheduled callback. Events fire in timestamp order; ties break
-// on sequence number (FIFO among equal timestamps) so execution order is
-// fully deterministic.
+// Event kinds: who owns the record and when the kernel may recycle it.
+const (
+	// kindOneShot events come from Schedule/ScheduleAt: a Handle escapes to
+	// the caller, so recycling is guarded by the record's generation counter.
+	kindOneShot = iota
+	// kindPooled events come from ScheduleFunc/ScheduleFuncAt: no handle
+	// escapes, so the record is recycled the moment it fires.
+	kindPooled
+	// kindTimer events are embedded in a Timer, which owns the record for
+	// its whole lifetime; the kernel never recycles them.
+	kindTimer
+)
+
+// Event is one scheduled callback record. Events fire in timestamp order;
+// ties break on sequence number (FIFO among equal timestamps) so execution
+// order is fully deterministic regardless of the queue backend. Callers
+// never hold an *Event directly — Schedule returns a generation-checked
+// Handle, and Timers embed their record.
 type Event struct {
-	at       time.Duration
-	seq      uint64
-	index    int
+	at  time.Duration
+	seq uint64
+	// index is the event's position inside its queue container (heap slot or
+	// wheel-bucket position); -1 when the event is not queued.
+	index int
+	// slot locates the wheel bucket holding the event (level*wheelSlots+slot,
+	// or curSlot for the wheel's current-tick heap). Unused by the heap.
+	slot     int32
+	kind     uint8
 	canceled bool
-	// pooled marks events created by ScheduleFunc/ScheduleFuncAt: no handle
-	// escapes to the caller, so the kernel recycles the Event through its
-	// free-list once it fires.
-	pooled bool
-	fn     func()
+	// gen is bumped when the event fires and when the record is reused from
+	// the free list, so a Handle held across either boundary goes inert
+	// instead of acting on an unrelated event.
+	gen uint64
+	fn  func()
+	k   *Kernel
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() time.Duration { return e.at }
+// Handle refers to one scheduled occurrence of an event. The zero Handle is
+// valid and inert. Handles stay safe after the event fires or is canceled:
+// the kernel recycles event records aggressively, and the generation check
+// turns any operation on a stale handle into a no-op.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
+// Cancel prevents the event from firing and releases its queue slot
+// immediately (no tombstone is left behind). Canceling an already-fired or
 // already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
-
-// Canceled reports whether the event has been canceled.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
+func (h Handle) Cancel() {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.canceled {
 		return
 	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
+	ev.canceled = true
+	if ev.index >= 0 {
+		k := ev.k
+		k.queue.remove(ev)
+		ev.fn = nil
+		k.free = append(k.free, ev)
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// Canceled reports whether this occurrence was canceled before firing.
+func (h Handle) Canceled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.canceled
+}
+
+// Scheduled reports whether this occurrence is still queued to fire.
+func (h Handle) Scheduled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
+}
+
+// eventQueue is the pending-event store. Implementations keep a total order
+// by (at, seq): pop and peek always yield the minimum. remove must only be
+// called with a currently queued event. The queue is concrete (*Event only)
+// on purpose: the seed implementation went through container/heap's `any`
+// interface and silently dropped a failed type assertion on Push, a
+// programming error that vanished an event instead of failing loudly.
+type eventQueue interface {
+	push(*Event)
+	pop() *Event
+	peek() *Event
+	remove(*Event)
+	len() int
+}
+
+// QueueKind selects the pending-event queue implementation.
+type QueueKind int32
+
+const (
+	// QueueDefault resolves to the package default (see SetDefaultQueue).
+	QueueDefault QueueKind = iota
+	// QueueWheel is the hierarchical timer wheel: O(1) schedule and cancel,
+	// amortized O(1) pop. The default.
+	QueueWheel
+	// QueueHeap is the reference binary heap the wheel must reproduce
+	// byte-for-byte, kept for the golden-trace equivalence suite and the
+	// old-vs-new BenchmarkKernelChurn comparison.
+	QueueHeap
+)
+
+// defaultQueue is the kind used when NewKernel (or QueueDefault) is asked
+// for a queue. Atomic so the golden-trace suite can flip it while parallel
+// trial workers construct kernels; because both kinds are byte-identical, a
+// concurrent flip changes no result.
+var defaultQueue atomic.Int32
+
+func init() { defaultQueue.Store(int32(QueueWheel)) }
+
+// SetDefaultQueue sets the queue kind used by kernels constructed with
+// NewKernel (or NewKernelWithQueue(QueueDefault)) and returns the previous
+// default. Both kinds produce byte-identical simulations (enforced by the
+// golden-trace suite); the knob exists so equivalence tests and benchmarks
+// can select the reference heap.
+func SetDefaultQueue(kind QueueKind) QueueKind {
+	return QueueKind(defaultQueue.Swap(int32(kind)))
 }
 
 // Kernel is a discrete-event simulation engine. The zero value is not usable;
@@ -87,16 +152,30 @@ type Kernel struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
-	// free recycles fired pooled events so hot paths that schedule one
-	// event per packet (phy frame deliveries) do not allocate per call.
+	// free recycles event records so hot paths that schedule one event per
+	// packet (phy frame deliveries) or cancel/reschedule per message
+	// (retransmission timeouts) do not allocate per call.
 	free []*Event
 }
 
-// NewKernel returns a kernel whose random stream is seeded with seed.
+// NewKernel returns a kernel whose random stream is seeded with seed, using
+// the package-default queue (the timer wheel).
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{
-		rng: rand.New(rand.NewSource(seed)),
+	return NewKernelWithQueue(seed, QueueDefault)
+}
+
+// NewKernelWithQueue is NewKernel with an explicit queue backend.
+func NewKernelWithQueue(seed int64, kind QueueKind) *Kernel {
+	if kind == QueueDefault {
+		kind = QueueKind(defaultQueue.Load())
 	}
+	k := &Kernel{rng: rand.New(rand.NewSource(seed))}
+	if kind == QueueHeap {
+		k.queue = &heapQueue{}
+	} else {
+		k.queue = &wheelQueue{}
+	}
+	return k
 }
 
 // Now returns the current virtual time.
@@ -109,13 +188,15 @@ func (k *Kernel) RNG() *rand.Rand { return k.rng }
 // EventsFired returns the number of events executed so far.
 func (k *Kernel) EventsFired() uint64 { return k.fired }
 
-// Pending returns the number of events currently queued (including canceled
-// events that have not yet been popped).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of live events currently queued. Canceled
+// events release their queue slot immediately, so they are never counted.
+func (k *Kernel) Pending() int { return k.queue.len() }
 
 // Schedule enqueues fn to run after delay (relative to Now). A negative delay
-// is clamped to zero. The returned Event may be used to cancel the callback.
-func (k *Kernel) Schedule(delay time.Duration, fn func()) *Event {
+// is clamped to zero. The returned Handle may be used to cancel the callback.
+// Call sites that cancel or reschedule the same logical timer repeatedly
+// should hold a Timer (see NewTimer) instead of scheduling per shot.
+func (k *Kernel) Schedule(delay time.Duration, fn func()) Handle {
 	if delay < 0 {
 		delay = 0
 	}
@@ -124,21 +205,16 @@ func (k *Kernel) Schedule(delay time.Duration, fn func()) *Event {
 
 // ScheduleAt enqueues fn to run at absolute virtual time at. Times in the
 // past are clamped to Now.
-func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Event {
-	if at < k.now {
-		at = k.now
-	}
-	k.seq++
-	ev := &Event{at: at, seq: k.seq, fn: fn}
-	heap.Push(&k.queue, ev)
-	return ev
+func (k *Kernel) ScheduleAt(at time.Duration, fn func()) Handle {
+	ev := k.enqueue(at, kindOneShot, fn)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // ScheduleFunc enqueues fn to run after delay like Schedule, but returns no
 // cancel handle: the event cannot be canceled, which is what lets the kernel
-// recycle it through an internal free-list after it fires. Hot paths that
-// schedule one event per packet and never cancel (e.g. phy frame
-// deliveries) use this to avoid allocating an Event per call.
+// recycle it through the free list the moment it fires. Hot paths that
+// schedule one event per packet and never cancel (phy frame deliveries,
+// jittered transmissions) use this to avoid allocating an Event per call.
 func (k *Kernel) ScheduleFunc(delay time.Duration, fn func()) {
 	if delay < 0 {
 		delay = 0
@@ -148,6 +224,12 @@ func (k *Kernel) ScheduleFunc(delay time.Duration, fn func()) {
 
 // ScheduleFuncAt is ScheduleAt without a cancel handle; see ScheduleFunc.
 func (k *Kernel) ScheduleFuncAt(at time.Duration, fn func()) {
+	k.enqueue(at, kindPooled, fn)
+}
+
+// enqueue assigns the next sequence number and pushes a recycled (or fresh)
+// event record.
+func (k *Kernel) enqueue(at time.Duration, kind uint8, fn func()) *Event {
 	if at < k.now {
 		at = k.now
 	}
@@ -157,41 +239,38 @@ func (k *Kernel) ScheduleFuncAt(at time.Duration, fn func()) {
 		ev = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
-		*ev = Event{at: at, seq: k.seq, pooled: true, fn: fn}
+		ev.gen++ // any handle from the record's previous life goes inert
+		ev.at, ev.seq, ev.kind, ev.canceled, ev.fn = at, k.seq, kind, false, fn
 	} else {
-		ev = &Event{at: at, seq: k.seq, pooled: true, fn: fn}
+		ev = &Event{at: at, seq: k.seq, index: -1, kind: kind, fn: fn, k: k}
 	}
-	heap.Push(&k.queue, ev)
+	k.queue.push(ev)
+	return ev
 }
 
 // Stop halts the simulation: Run returns ErrStopped after the current event
 // completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Step executes the next pending event, if any, and reports whether an event
-// ran. Canceled events are skipped (and counted as not run).
+// Step executes the next pending event, if any, and reports whether one ran.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		ev, ok := heap.Pop(&k.queue).(*Event)
-		if !ok {
-			return false
-		}
-		if ev.canceled {
-			continue
-		}
-		k.now = ev.at
-		k.fired++
-		fn := ev.fn
-		if ev.pooled {
-			// Recycle before running fn: the callback may itself schedule
-			// pooled events and reuse this record immediately.
-			ev.fn = nil
-			k.free = append(k.free, ev)
-		}
-		fn()
-		return true
+	ev := k.queue.pop()
+	if ev == nil {
+		return false
 	}
-	return false
+	k.now = ev.at
+	k.fired++
+	fn := ev.fn
+	if ev.kind != kindTimer {
+		// Recycle before running fn: the callback may itself schedule events
+		// and reuse this record immediately. Bumping gen first makes any
+		// still-held Handle inert before the record can change identity.
+		ev.gen++
+		ev.fn = nil
+		k.free = append(k.free, ev)
+	}
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains, the horizon is exceeded, or
@@ -202,15 +281,11 @@ func (k *Kernel) Step() bool {
 // ErrStopped if Stop was called.
 func (k *Kernel) Run(horizon time.Duration) error {
 	k.stopped = false
-	for len(k.queue) > 0 {
+	for k.queue.len() > 0 {
 		if k.stopped {
 			return ErrStopped
 		}
-		next := k.queue[0]
-		if next.canceled {
-			heap.Pop(&k.queue)
-			continue
-		}
+		next := k.queue.peek()
 		if horizon > 0 && next.at > horizon {
 			k.now = horizon
 			return nil
@@ -230,12 +305,8 @@ func (k *Kernel) RunUntil(horizon time.Duration, cond func() bool) bool {
 	if cond() {
 		return true
 	}
-	for len(k.queue) > 0 {
-		next := k.queue[0]
-		if next.canceled {
-			heap.Pop(&k.queue)
-			continue
-		}
+	for k.queue.len() > 0 {
+		next := k.queue.peek()
 		if horizon > 0 && next.at > horizon {
 			k.now = horizon
 			return false

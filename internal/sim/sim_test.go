@@ -1,143 +1,219 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
 )
 
+// queueKinds enumerates the backends; tests that exercise kernel semantics
+// run against both so the wheel cannot drift from the reference heap.
+var queueKinds = []struct {
+	name string
+	kind QueueKind
+}{
+	{"wheel", QueueWheel},
+	{"heap", QueueHeap},
+}
+
 func TestKernelRunsEventsInOrder(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	var order []int
-	k.Schedule(3*time.Second, func() { order = append(order, 3) })
-	k.Schedule(1*time.Second, func() { order = append(order, 1) })
-	k.Schedule(2*time.Second, func() { order = append(order, 2) })
-	if err := k.Run(0); err != nil {
-		t.Fatalf("run: %v", err)
-	}
-	want := []int{1, 2, 3}
-	for i, v := range want {
-		if order[i] != v {
-			t.Fatalf("order = %v, want %v", order, want)
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		var order []int
+		k.Schedule(3*time.Second, func() { order = append(order, 3) })
+		k.Schedule(1*time.Second, func() { order = append(order, 1) })
+		k.Schedule(2*time.Second, func() { order = append(order, 2) })
+		if err := k.Run(0); err != nil {
+			t.Fatalf("%s: run: %v", q.name, err)
 		}
-	}
-	if k.Now() != 3*time.Second {
-		t.Fatalf("now = %v, want 3s", k.Now())
+		want := []int{1, 2, 3}
+		for i, v := range want {
+			if order[i] != v {
+				t.Fatalf("%s: order = %v, want %v", q.name, order, want)
+			}
+		}
+		if k.Now() != 3*time.Second {
+			t.Fatalf("%s: now = %v, want 3s", q.name, k.Now())
+		}
 	}
 }
 
 func TestKernelFIFOAmongEqualTimestamps(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	var order []int
-	for i := 0; i < 10; i++ {
-		i := i
-		k.Schedule(time.Second, func() { order = append(order, i) })
-	}
-	if err := k.Run(0); err != nil {
-		t.Fatalf("run: %v", err)
-	}
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("order = %v, want ascending", order)
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			k.Schedule(time.Second, func() { order = append(order, i) })
+		}
+		if err := k.Run(0); err != nil {
+			t.Fatalf("%s: run: %v", q.name, err)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("%s: order = %v, want ascending", q.name, order)
+			}
 		}
 	}
 }
 
 func TestKernelCancel(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	fired := false
-	ev := k.Schedule(time.Second, func() { fired = true })
-	ev.Cancel()
-	if err := k.Run(0); err != nil {
-		t.Fatalf("run: %v", err)
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		fired := false
+		ev := k.Schedule(time.Second, func() { fired = true })
+		if !ev.Scheduled() {
+			t.Fatalf("%s: Scheduled() = false before Cancel", q.name)
+		}
+		ev.Cancel()
+		if err := k.Run(0); err != nil {
+			t.Fatalf("%s: run: %v", q.name, err)
+		}
+		if fired {
+			t.Fatalf("%s: canceled event fired", q.name)
+		}
+		if !ev.Canceled() {
+			t.Fatalf("%s: Canceled() = false after Cancel", q.name)
+		}
+		if ev.Scheduled() {
+			t.Fatalf("%s: Scheduled() = true after Cancel", q.name)
+		}
 	}
-	if fired {
-		t.Fatal("canceled event fired")
+}
+
+// TestCancelReclaimsQueueSpace is the tombstone-leak regression test: a
+// long-lived workload that schedules and cancels without ever firing (an
+// always-answered retransmission timeout) must not grow the queue. The seed
+// kernel left canceled events queued until lazily popped, so this pattern
+// grew Kernel.queue without bound.
+func TestCancelReclaimsQueueSpace(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		keeper := k.Schedule(time.Hour, func() {})
+		for i := 0; i < 100_000; i++ {
+			h := k.Schedule(time.Minute+time.Duration(i)*time.Millisecond, func() {})
+			h.Cancel()
+			if p := k.Pending(); p != 1 {
+				t.Fatalf("%s: Pending() = %d after %d schedule/cancel cycles, want 1", q.name, p, i+1)
+			}
+		}
+		keeper.Cancel()
+		if p := k.Pending(); p != 0 {
+			t.Fatalf("%s: Pending() = %d after canceling everything, want 0", q.name, p)
+		}
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+}
+
+// TestPendingReportsLiveEvents pins the Pending contract: canceled events
+// release their slot immediately and are never counted.
+func TestPendingReportsLiveEvents(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		a := k.Schedule(time.Second, func() {})
+		k.Schedule(2*time.Second, func() {})
+		k.Schedule(3*time.Second, func() {})
+		if p := k.Pending(); p != 3 {
+			t.Fatalf("%s: Pending() = %d, want 3", q.name, p)
+		}
+		a.Cancel()
+		if p := k.Pending(); p != 2 {
+			t.Fatalf("%s: Pending() = %d after one cancel, want 2", q.name, p)
+		}
 	}
 }
 
 func TestKernelHorizonStopsClock(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	fired := false
-	k.Schedule(10*time.Second, func() { fired = true })
-	if err := k.Run(5 * time.Second); err != nil {
-		t.Fatalf("run: %v", err)
-	}
-	if fired {
-		t.Fatal("event beyond horizon fired")
-	}
-	if k.Now() != 5*time.Second {
-		t.Fatalf("now = %v, want 5s", k.Now())
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		fired := false
+		k.Schedule(10*time.Second, func() { fired = true })
+		if err := k.Run(5 * time.Second); err != nil {
+			t.Fatalf("%s: run: %v", q.name, err)
+		}
+		if fired {
+			t.Fatalf("%s: event beyond horizon fired", q.name)
+		}
+		if k.Now() != 5*time.Second {
+			t.Fatalf("%s: now = %v, want 5s", q.name, k.Now())
+		}
 	}
 }
 
 func TestKernelStop(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	count := 0
-	k.Schedule(time.Second, func() { count++; k.Stop() })
-	k.Schedule(2*time.Second, func() { count++ })
-	if err := k.Run(0); err != ErrStopped {
-		t.Fatalf("run = %v, want ErrStopped", err)
-	}
-	if count != 1 {
-		t.Fatalf("count = %d, want 1", count)
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		count := 0
+		k.Schedule(time.Second, func() { count++; k.Stop() })
+		k.Schedule(2*time.Second, func() { count++ })
+		if err := k.Run(0); err != ErrStopped {
+			t.Fatalf("%s: run = %v, want ErrStopped", q.name, err)
+		}
+		if count != 1 {
+			t.Fatalf("%s: count = %d, want 1", q.name, count)
+		}
 	}
 }
 
 func TestKernelScheduleInsideEvent(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	var times []time.Duration
-	k.Schedule(time.Second, func() {
-		times = append(times, k.Now())
-		k.Schedule(time.Second, func() { times = append(times, k.Now()) })
-	})
-	if err := k.Run(0); err != nil {
-		t.Fatalf("run: %v", err)
-	}
-	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
-		t.Fatalf("times = %v", times)
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		var times []time.Duration
+		k.Schedule(time.Second, func() {
+			times = append(times, k.Now())
+			k.Schedule(time.Second, func() { times = append(times, k.Now()) })
+		})
+		if err := k.Run(0); err != nil {
+			t.Fatalf("%s: run: %v", q.name, err)
+		}
+		if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+			t.Fatalf("%s: times = %v", q.name, times)
+		}
 	}
 }
 
 func TestKernelNegativeDelayClamped(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	fired := false
-	k.Schedule(-time.Second, func() { fired = true })
-	k.Run(0)
-	if !fired {
-		t.Fatal("negative-delay event did not fire")
-	}
-	if k.Now() != 0 {
-		t.Fatalf("now = %v, want 0", k.Now())
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		fired := false
+		k.Schedule(-time.Second, func() { fired = true })
+		k.Run(0)
+		if !fired {
+			t.Fatalf("%s: negative-delay event did not fire", q.name)
+		}
+		if k.Now() != 0 {
+			t.Fatalf("%s: now = %v, want 0", q.name, k.Now())
+		}
 	}
 }
 
 func TestKernelRunUntil(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	count := 0
-	for i := 1; i <= 10; i++ {
-		k.Schedule(time.Duration(i)*time.Second, func() { count++ })
-	}
-	ok := k.RunUntil(0, func() bool { return count >= 4 })
-	if !ok {
-		t.Fatal("RunUntil did not satisfy cond")
-	}
-	if count != 4 {
-		t.Fatalf("count = %d, want 4", count)
-	}
-	if k.Now() != 4*time.Second {
-		t.Fatalf("now = %v, want 4s", k.Now())
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		count := 0
+		for i := 1; i <= 10; i++ {
+			k.Schedule(time.Duration(i)*time.Second, func() { count++ })
+		}
+		ok := k.RunUntil(0, func() bool { return count >= 4 })
+		if !ok {
+			t.Fatalf("%s: RunUntil did not satisfy cond", q.name)
+		}
+		if count != 4 {
+			t.Fatalf("%s: count = %d, want 4", q.name, count)
+		}
+		if k.Now() != 4*time.Second {
+			t.Fatalf("%s: now = %v, want 4s", q.name, k.Now())
+		}
 	}
 }
 
@@ -160,6 +236,29 @@ func TestKernelDeterminism(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("trace diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestScheduleBehindWheelCursor pins the cursor-monotonicity edge: a
+// horizon-bounded Run peeks at a far-future event, which commits the wheel
+// cursor forward; an event then scheduled between the horizon and that
+// future tick lands behind the cursor and must still fire first.
+func TestScheduleBehindWheelCursor(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		var order []int
+		k.Schedule(10*time.Hour, func() { order = append(order, 2) })
+		if err := k.Run(time.Second); err != nil {
+			t.Fatalf("%s: run: %v", q.name, err)
+		}
+		k.Schedule(time.Second, func() { order = append(order, 1) }) // at ≈ 2s, far behind 10h
+		if err := k.Run(0); err != nil {
+			t.Fatalf("%s: run: %v", q.name, err)
+		}
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			t.Fatalf("%s: order = %v, want [1 2]", q.name, order)
 		}
 	}
 }
@@ -216,19 +315,21 @@ func TestEventTimeMonotonicProperty(t *testing.T) {
 
 func TestScheduleFuncOrderingMatchesSchedule(t *testing.T) {
 	t.Parallel()
-	k := NewKernel(1)
-	var order []int
-	k.Schedule(time.Second, func() { order = append(order, 1) })
-	k.ScheduleFunc(time.Second, func() { order = append(order, 2) }) // FIFO tie-break
-	k.ScheduleFuncAt(500*time.Millisecond, func() { order = append(order, 0) })
-	k.ScheduleFunc(-time.Second, func() { order = append(order, -1) }) // clamped to now
-	if err := k.Run(0); err != nil {
-		t.Fatal(err)
-	}
-	want := []int{-1, 0, 1, 2}
-	for i, v := range want {
-		if order[i] != v {
-			t.Fatalf("order = %v, want %v", order, want)
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		var order []int
+		k.Schedule(time.Second, func() { order = append(order, 1) })
+		k.ScheduleFunc(time.Second, func() { order = append(order, 2) }) // FIFO tie-break
+		k.ScheduleFuncAt(500*time.Millisecond, func() { order = append(order, 0) })
+		k.ScheduleFunc(-time.Second, func() { order = append(order, -1) }) // clamped to now
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		want := []int{-1, 0, 1, 2}
+		for i, v := range want {
+			if order[i] != v {
+				t.Fatalf("%s: order = %v, want %v", q.name, order, want)
+			}
 		}
 	}
 }
@@ -266,5 +367,232 @@ func TestScheduleFuncRecyclesEvents(t *testing.T) {
 	k.Run(0)
 	if ran != 1 {
 		t.Fatalf("ran = %d, want only the pooled event (canceled handle skipped)", ran)
+	}
+}
+
+// TestCanceledEventsAreRecycled pins the free-list contract for cancelable
+// events: a cancel returns the record, and the next schedule reuses it, so a
+// schedule/cancel loop settles at zero allocations.
+func TestCanceledEventsAreRecycled(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		fn := func() {}
+		// Warm the free list, the queue's backing storage, and the handle's
+		// reuse path.
+		for i := 0; i < 64; i++ {
+			k.Schedule(time.Minute, fn).Cancel()
+		}
+		allocs := testing.AllocsPerRun(1000, func() {
+			k.Schedule(time.Minute, fn).Cancel()
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: schedule/cancel cycle allocates %v/op, want 0", q.name, allocs)
+		}
+	}
+}
+
+// TestStaleHandlesAreInert pins the generation guard: once an event fires,
+// its record may be reused for an unrelated event, and operations through a
+// handle from the previous life must not touch the new occupant.
+func TestStaleHandlesAreInert(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		aRan, bRan := false, false
+		a := k.Schedule(time.Second, func() { aRan = true })
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		b := k.Schedule(time.Second, func() { bRan = true }) // reuses a's record
+		a.Cancel()                                           // stale: must not cancel b
+		if a.Canceled() || a.Scheduled() {
+			t.Fatalf("%s: fired handle reports Canceled=%v Scheduled=%v, want false/false",
+				q.name, a.Canceled(), a.Scheduled())
+		}
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if !aRan || !bRan {
+			t.Fatalf("%s: aRan=%v bRan=%v, want both true (stale Cancel must be a no-op)",
+				q.name, aRan, bRan)
+		}
+		_ = b
+	}
+}
+
+func TestTimerLifecycle(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		fired := 0
+		tm := k.NewTimer(func() { fired++ })
+		if tm.Pending() {
+			t.Fatalf("%s: new timer is pending", q.name)
+		}
+
+		// Reset replaces the previous deadline: one shot, at the later time.
+		tm.Reset(time.Second)
+		tm.Reset(3 * time.Second)
+		if !tm.Pending() {
+			t.Fatalf("%s: armed timer not pending", q.name)
+		}
+		k.Run(0)
+		if fired != 1 || k.Now() != 3*time.Second {
+			t.Fatalf("%s: fired=%d now=%v, want 1 at 3s", q.name, fired, k.Now())
+		}
+		if tm.Pending() {
+			t.Fatalf("%s: timer still pending after firing", q.name)
+		}
+
+		// Stop disarms; the timer stays reusable.
+		tm.Reset(time.Second)
+		tm.Stop()
+		tm.Stop() // idempotent
+		k.Run(0)
+		if fired != 1 {
+			t.Fatalf("%s: stopped timer fired", q.name)
+		}
+		tm.Reset(time.Second)
+		k.Run(0)
+		if fired != 2 {
+			t.Fatalf("%s: re-armed timer did not fire", q.name)
+		}
+	}
+}
+
+func TestTimerPeriodicReArm(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		var times []time.Duration
+		var tm *Timer
+		tm = k.NewTimer(func() {
+			times = append(times, k.Now())
+			if len(times) < 3 {
+				tm.Reset(time.Second)
+			}
+		})
+		tm.Reset(time.Second)
+		k.Run(0)
+		want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+		if len(times) != len(want) {
+			t.Fatalf("%s: times = %v, want %v", q.name, times, want)
+		}
+		for i := range want {
+			if times[i] != want[i] {
+				t.Fatalf("%s: times = %v, want %v", q.name, times, want)
+			}
+		}
+	}
+}
+
+// TestTimerResetDoesNotAllocate pins the satellite contract: steady-state
+// Reset of a live timer — the retransmission-timeout pattern — is 0 allocs.
+func TestTimerResetDoesNotAllocate(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		// A realistic surrounding population so the queue is not trivially
+		// empty.
+		for i := 0; i < 256; i++ {
+			k.Schedule(time.Hour+time.Duration(i)*time.Second, func() {})
+		}
+		tm := k.NewTimer(func() {})
+		for i := 0; i < 64; i++ {
+			tm.Reset(time.Duration(i%7) * time.Millisecond)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(1000, func() {
+			i++
+			tm.Reset(time.Duration(i%7) * time.Millisecond)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: Timer.Reset allocates %v/op in steady state, want 0", q.name, allocs)
+		}
+	}
+}
+
+// TestWheelMatchesHeapUnderChurn is the equivalence property test: both
+// backends, fed an identical randomized stream of schedules (one-shot,
+// pooled, exact-time ties), cancels, timer resets/stops, and
+// horizon-bounded runs, must fire the identical (event, time) sequence.
+// The delay mix spans sub-tick ties, exact tick boundaries, and far-future
+// deadlines that cascade through multiple wheel levels.
+func TestWheelMatchesHeapUnderChurn(t *testing.T) {
+	t.Parallel()
+	type fireRec struct {
+		id int
+		at time.Duration
+	}
+	delays := []time.Duration{
+		0, 1, 513, time.Microsecond, 333 * time.Microsecond,
+		1 << tickBits, // exactly one tick
+		time.Millisecond, 17 * time.Millisecond, 400 * time.Millisecond,
+		time.Second, 19 * time.Second, 90 * time.Second,
+		time.Hour, 26 * time.Hour, 40 * 24 * time.Hour,
+	}
+	run := func(seed int64, kind QueueKind) []fireRec {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernelWithQueue(seed, kind)
+		var trace []fireRec
+		var handles []Handle
+		var timers []*Timer
+		nextID := 0
+		record := func() func() {
+			nextID++
+			id := nextID
+			return func() { trace = append(trace, fireRec{id, k.Now()}) }
+		}
+		for round := 0; round < 150; round++ {
+			for i := 0; i < 12; i++ {
+				switch op := rng.Intn(12); {
+				case op < 5:
+					handles = append(handles, k.Schedule(delays[rng.Intn(len(delays))], record()))
+				case op < 6:
+					// Two events at the same absolute time: FIFO tie.
+					at := k.Now() + delays[rng.Intn(len(delays))]
+					k.ScheduleAt(at, record())
+					k.ScheduleAt(at, record())
+				case op < 8:
+					k.ScheduleFunc(delays[rng.Intn(len(delays))], record())
+				case op < 9:
+					if len(handles) > 0 {
+						handles[rng.Intn(len(handles))].Cancel() // possibly stale: must be inert
+					}
+				case op < 11:
+					if len(timers) == 0 || rng.Intn(4) == 0 {
+						timers = append(timers, k.NewTimer(record()))
+					}
+					timers[rng.Intn(len(timers))].Reset(delays[rng.Intn(len(delays))])
+				default:
+					if len(timers) > 0 {
+						timers[rng.Intn(len(timers))].Stop()
+					}
+				}
+			}
+			// Horizon-bounded drain: peeking at a far-future event commits
+			// the wheel cursor forward, so later rounds schedule behind it.
+			k.Run(k.Now() + delays[rng.Intn(len(delays))])
+		}
+		k.Run(0)
+		return trace
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		heapTrace := run(seed, QueueHeap)
+		wheelTrace := run(seed, QueueWheel)
+		if len(heapTrace) != len(wheelTrace) {
+			t.Fatalf("seed %d: trace lengths diverged: heap %d, wheel %d",
+				seed, len(heapTrace), len(wheelTrace))
+		}
+		for i := range heapTrace {
+			if heapTrace[i] != wheelTrace[i] {
+				t.Fatalf("seed %d: trace diverged at %d: heap %+v, wheel %+v",
+					seed, i, heapTrace[i], wheelTrace[i])
+			}
+		}
+		if len(heapTrace) == 0 {
+			t.Fatalf("seed %d: churn fired no events; property is vacuous", seed)
+		}
 	}
 }

@@ -72,11 +72,20 @@ type Reliable struct {
 	AcksSent uint64
 }
 
+// outstanding is one unacknowledged message. It owns its timers for its
+// whole lifetime: the RTO timer is a reusable sim.Timer that each
+// retransmission re-arms (Reset, no per-attempt closure or event), and the
+// jittered transmission is a single method value re-enqueued per attempt
+// through the kernel's pooled ScheduleFunc path.
 type outstanding struct {
+	r       *Reliable
+	id      uint32
 	dst     int
 	payload []byte
 	retries int
-	timer   *sim.Event
+	rto     time.Duration
+	sendFn  func()
+	rtoT    *sim.Timer
 	onDone  func(ok bool)
 }
 
@@ -102,46 +111,62 @@ func (r *Reliable) SetReceive(fn func(src int, payload []byte)) { r.onRecv = fn 
 // failure.
 func (r *Reliable) Send(dst int, payload []byte, onDone func(ok bool)) {
 	r.nextID++
-	id := r.nextID
-	out := &outstanding{dst: dst, payload: append([]byte(nil), payload...), onDone: onDone}
-	r.pending[id] = out
-	r.transmit(id, out, r.cfg.RTO)
+	out := &outstanding{
+		r:       r,
+		id:      r.nextID,
+		dst:     dst,
+		payload: append([]byte(nil), payload...),
+		rto:     r.cfg.RTO,
+		onDone:  onDone,
+	}
+	out.sendFn = out.send
+	out.rtoT = r.k.NewTimer(out.timeout)
+	r.pending[out.id] = out
+	r.transmit(out)
 }
 
-func (r *Reliable) transmit(id uint32, out *outstanding, rto time.Duration) {
-	r.k.Schedule(r.k.Jitter(r.cfg.Jitter), func() {
-		if _, live := r.pending[id]; !live {
-			return
+// transmit arms one attempt: the jittered transmission and the
+// retransmission timeout that re-arms it.
+func (r *Reliable) transmit(out *outstanding) {
+	r.k.ScheduleFunc(r.k.Jitter(r.cfg.Jitter), out.sendFn)
+	out.rtoT.Reset(r.cfg.Jitter + out.rto)
+}
+
+func (o *outstanding) send() {
+	r := o.r
+	if r.pending[o.id] != o {
+		return // acked (or failed) between scheduling and the jitter slot
+	}
+	hdr := []byte{msgData}
+	hdr = binary.BigEndian.AppendUint32(hdr, o.id)
+	// A false return means no route yet (e.g. DSDV still converging);
+	// the retry timer covers that case too.
+	r.router.Send(o.dst, append(hdr, o.payload...))
+}
+
+func (o *outstanding) timeout() {
+	r := o.r
+	if r.pending[o.id] != o {
+		return
+	}
+	o.retries++
+	if o.retries > r.cfg.MaxRetries {
+		delete(r.pending, o.id)
+		r.Failures++
+		if rt, isDSR := r.router.(*routing.DSR); isDSR {
+			rt.InvalidateRoute(o.dst)
 		}
-		hdr := []byte{msgData}
-		hdr = binary.BigEndian.AppendUint32(hdr, id)
-		// A false return means no route yet (e.g. DSDV still converging);
-		// the retry timer below covers that case too.
-		r.router.Send(out.dst, append(hdr, out.payload...))
-	})
-	out.timer = r.k.Schedule(r.cfg.Jitter+rto, func() {
-		if _, live := r.pending[id]; !live {
-			return
+		if o.onDone != nil {
+			o.onDone(false)
 		}
-		out.retries++
-		if out.retries > r.cfg.MaxRetries {
-			delete(r.pending, id)
-			r.Failures++
-			if rt, isDSR := r.router.(*routing.DSR); isDSR {
-				rt.InvalidateRoute(out.dst)
-			}
-			if out.onDone != nil {
-				out.onDone(false)
-			}
-			return
-		}
-		r.Retransmissions++
-		next := rto * 2
-		if maxRTO := 8 * r.cfg.RTO; next > maxRTO {
-			next = maxRTO // cap backoff, as TCP implementations do
-		}
-		r.transmit(id, out, next)
-	})
+		return
+	}
+	r.Retransmissions++
+	o.rto *= 2
+	if maxRTO := 8 * r.cfg.RTO; o.rto > maxRTO {
+		o.rto = maxRTO // cap backoff, as TCP implementations do
+	}
+	r.transmit(o)
 }
 
 func (r *Reliable) onRouterDeliver(src int, payload []byte) {
@@ -155,7 +180,7 @@ func (r *Reliable) onRouterDeliver(src int, payload []byte) {
 		// Ack unconditionally (acks are lost sometimes; sender retries).
 		ack := []byte{msgAck}
 		ack = binary.BigEndian.AppendUint32(ack, id)
-		r.k.Schedule(r.k.Jitter(r.cfg.Jitter), func() {
+		r.k.ScheduleFunc(r.k.Jitter(r.cfg.Jitter), func() {
 			r.AcksSent++
 			r.router.Send(src, ack)
 		})
@@ -187,7 +212,7 @@ func (r *Reliable) onRouterDeliver(src int, payload []byte) {
 		if !ok {
 			return
 		}
-		out.timer.Cancel()
+		out.rtoT.Stop()
 		delete(r.pending, id)
 		if out.onDone != nil {
 			out.onDone(true)
