@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-nfd bench-json bench-check golden
+.PHONY: all build vet test race bench bench-nfd bench-json bench-check golden plan plan-report
 
 all: vet build test
 
@@ -42,6 +42,21 @@ bench-json:
 # committed BENCH_5.json. Times never gate — they move with hardware.
 bench-check:
 	$(GO) run ./cmd/bench-snapshot -issue 5 -check BENCH_5.json
+
+# The plan smoke: run the committed CI plan file through the declarative
+# harness with a 4-worker fan-out. The JSON-lines stream and report are
+# byte-identical to -workers=1 (TestGoldenPlanDeterminism and
+# TestCommittedPlansRunDeterministically pin that); this target proves the
+# CLI end of the contract stays runnable in seconds.
+plan:
+	$(GO) run ./cmd/dapes-plan run plans/ci-smoke.toml -workers=4
+
+# The perf-trajectory report: load every committed BENCH_*.json snapshot,
+# render the per-metric series across PRs, and fail if any gated metric
+# (wire/kernel allocs exact, phy +2 slack, scenario allocs +50%) breached
+# between consecutive snapshots.
+plan-report:
+	$(GO) run ./cmd/dapes-plan report -fail-on-breach
 
 # The determinism gates: grid==naive and wheel==heap byte-identical for
 # every registered scenario, baselines identical across reruns, the

@@ -139,20 +139,30 @@ func EmitRun(w io.Writer, f Format, r RunResult) error {
 		if name == "" {
 			name = "ad-hoc"
 		}
-		fmt.Fprintf(w, "%s: range=%gm seed=%d trials=%d workers=%d\n",
-			name, r.Range, r.Seed, len(r.Trials), r.Workers)
-		for i, tr := range r.Trials {
-			fmt.Fprintf(w, "trial %d: avg-download=%v transmissions=%d completed=%d/%d",
-				i, tr.AvgDownloadTime.Round(100*time.Millisecond), tr.Transmissions,
-				tr.Completed, tr.Downloaders)
-			if tr.ForwardAccuracy > 0 {
-				fmt.Fprintf(w, " forward-accuracy=%.0f%%", 100*tr.ForwardAccuracy)
-			}
-			fmt.Fprintln(w)
+		// Write errors propagate (a full disk or closed pipe must not look
+		// like a successful emit); the first failure wins.
+		if _, err := fmt.Fprintf(w, "%s: range=%gm seed=%d trials=%d workers=%d\n",
+			name, r.Range, r.Seed, len(r.Trials), r.Workers); err != nil {
+			return err
 		}
-		fmt.Fprintf(w, "p90: download=%s s transmissions=%s\n",
+		for i, tr := range r.Trials {
+			if _, err := fmt.Fprintf(w, "trial %d: avg-download=%v transmissions=%d completed=%d/%d",
+				i, tr.AvgDownloadTime.Round(100*time.Millisecond), tr.Transmissions,
+				tr.Completed, tr.Downloaders); err != nil {
+				return err
+			}
+			if tr.ForwardAccuracy > 0 {
+				if _, err := fmt.Fprintf(w, " forward-accuracy=%.0f%%", 100*tr.ForwardAccuracy); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "p90: download=%s s transmissions=%s\n",
 			fmtSeconds(r.DownloadTime90), fmtCount(r.Transmissions90))
-		return nil
+		return err
 	}
 }
 

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -123,6 +126,84 @@ func TestEmitTablesFormats(t *testing.T) {
 	}
 	if !strings.Contains(tbuf.String(), "== demo ==") {
 		t.Fatalf("text table missing title: %q", tbuf.String())
+	}
+}
+
+// failWriter errors on every write after the first n bytes succeed,
+// exercising the emitters' error propagation mid-document.
+type failWriter struct {
+	allow int // bytes accepted before failing
+	wrote int
+}
+
+func (fw *failWriter) Write(p []byte) (int, error) {
+	if fw.wrote+len(p) > fw.allow {
+		n := fw.allow - fw.wrote
+		if n < 0 {
+			n = 0
+		}
+		fw.wrote += n
+		return n, errors.New("sink full")
+	}
+	fw.wrote += len(p)
+	return len(p), nil
+}
+
+func TestEmitRunPropagatesWriteErrors(t *testing.T) {
+	t.Parallel()
+	r := sampleRun()
+	for _, f := range []Format{FormatText, FormatJSON, FormatCSV} {
+		// Fail immediately and partway through: both must surface the error.
+		for _, allow := range []int{0, 40} {
+			if err := EmitRun(&failWriter{allow: allow}, f, r); err == nil {
+				t.Errorf("EmitRun(%s, allow=%d) swallowed the write error", f, allow)
+			}
+		}
+	}
+}
+
+func TestEmitTablesPropagatesWriteErrors(t *testing.T) {
+	t.Parallel()
+	tbl := Table{Title: "demo", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	for _, f := range []Format{FormatText, FormatJSON, FormatCSV} {
+		if err := EmitTables(&failWriter{allow: 0}, f, tbl); err == nil {
+			t.Errorf("EmitTables(%s) swallowed the write error", f)
+		}
+	}
+}
+
+func TestOpenOutputRejectsFormatBeforeTouchingPath(t *testing.T) {
+	t.Parallel()
+	// A typo'd -format must fail before the output file is created or
+	// truncated — that ordering is the documented contract.
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenOutput(path, "xml"); err == nil {
+		t.Fatal("OpenOutput accepted format xml")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "precious" {
+		t.Fatalf("existing file was touched despite bad format: %q, %v", got, err)
+	}
+}
+
+func TestOpenOutputErrorsOnUnwritablePath(t *testing.T) {
+	t.Parallel()
+	if _, _, _, err := OpenOutput(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"), "json"); err == nil {
+		t.Fatal("OpenOutput created a file under a missing directory")
+	}
+}
+
+func TestOpenOutputStdoutCloseIsNoOp(t *testing.T) {
+	t.Parallel()
+	w, f, closeFn, err := OpenOutput("", "text")
+	if err != nil || w != os.Stdout || f != FormatText {
+		t.Fatalf("OpenOutput(\"\") = %v, %v, err %v", w, f, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("stdout close func errored: %v", err)
 	}
 }
 

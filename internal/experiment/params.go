@@ -102,6 +102,46 @@ func FullScale() Scale {
 // TotalPackets returns the collection's packet count at this scale.
 func (s Scale) TotalPackets() int { return s.NumFiles * s.PacketsPerFile }
 
+// Validate rejects scales that cannot drive a meaningful run: zero or
+// negative trial counts, an empty range sweep, non-positive collection or
+// packet sizes, loss probabilities outside [0, 1), and node mixes with
+// nobody downloading. CLIs and the plan harness call this before work
+// starts so a bad knob fails with a field name instead of a mid-run panic
+// or a silently empty sweep.
+func (s Scale) Validate() error {
+	switch {
+	case s.Trials <= 0:
+		return fmt.Errorf("experiment: Scale.Trials = %d, must be positive", s.Trials)
+	case s.NumFiles <= 0:
+		return fmt.Errorf("experiment: Scale.NumFiles = %d, must be positive", s.NumFiles)
+	case s.PacketsPerFile <= 0:
+		return fmt.Errorf("experiment: Scale.PacketsPerFile = %d, must be positive", s.PacketsPerFile)
+	case s.PacketSize <= 0:
+		return fmt.Errorf("experiment: Scale.PacketSize = %d, must be positive", s.PacketSize)
+	case len(s.Ranges) == 0:
+		return fmt.Errorf("experiment: Scale.Ranges is empty, need at least one WiFi range")
+	case s.Horizon <= 0:
+		return fmt.Errorf("experiment: Scale.Horizon = %v, must be positive", s.Horizon)
+	case s.LossRate < 0 || s.LossRate >= 1:
+		return fmt.Errorf("experiment: Scale.LossRate = %g, must be in [0, 1)", s.LossRate)
+	case s.Stationary < 0 || s.MobileDown < 0 || s.PureForwarders < 0 || s.Intermediates < 0:
+		return fmt.Errorf("experiment: negative node counts (%d stationary, %d mobile, %d forwarders, %d intermediates)",
+			s.Stationary, s.MobileDown, s.PureForwarders, s.Intermediates)
+	case s.Stationary+s.MobileDown == 0:
+		return fmt.Errorf("experiment: no downloaders (Stationary + MobileDown = 0)")
+	case s.Workers < 0:
+		return fmt.Errorf("experiment: Scale.Workers = %d, must be >= 0", s.Workers)
+	case s.AreaSide < 0:
+		return fmt.Errorf("experiment: Scale.AreaSide = %g, must be >= 0", s.AreaSide)
+	}
+	for i, r := range s.Ranges {
+		if r <= 0 {
+			return fmt.Errorf("experiment: Scale.Ranges[%d] = %g, must be positive", i, r)
+		}
+	}
+	return nil
+}
+
 // Table is one regenerated figure or table: a title, column header, and
 // formatted rows in the same organization the paper plots.
 type Table struct {

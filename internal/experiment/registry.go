@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -76,6 +77,80 @@ func Lookup(name string) (*Scenario, bool) {
 	defer registry.RUnlock()
 	sc, ok := registry.m[name]
 	return sc, ok
+}
+
+// Find is the user-input counterpart of Lookup: it returns the scenario
+// registered under name, or a descriptive error that lists the closest
+// registered names. Everything that resolves a scenario from a CLI flag or
+// a plan file should go through Find, so a typo'd "fig7-dappes" answers
+// with "did you mean fig7-dapes?" instead of a bare not-found.
+func Find(name string) (*Scenario, error) {
+	if sc, ok := Lookup(name); ok {
+		return sc, nil
+	}
+	if near := nearMisses(name, 3); len(near) > 0 {
+		return nil, fmt.Errorf("experiment: unknown scenario %q (did you mean %s? run -list to enumerate)",
+			name, strings.Join(near, ", "))
+	}
+	return nil, fmt.Errorf("experiment: unknown scenario %q (run -list to enumerate)", name)
+}
+
+// nearMisses returns up to max registered names close to name: substring
+// matches first, then small edit distances, in deterministic order.
+func nearMisses(name string, max int) []string {
+	type cand struct {
+		name string
+		dist int
+	}
+	var cands []cand
+	lower := strings.ToLower(name)
+	for _, sc := range Scenarios() {
+		scLower := strings.ToLower(sc.Name)
+		switch {
+		case strings.Contains(scLower, lower) || strings.Contains(lower, scLower):
+			cands = append(cands, cand{sc.Name, 0})
+		default:
+			if d := editDistance(lower, scLower); d <= 1+len(scLower)/4 {
+				cands = append(cands, cand{sc.Name, d})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.name
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between two short strings.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // Scenarios returns every registered scenario sorted by name, so listings

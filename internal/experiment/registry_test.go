@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"sort"
+	"strings"
 	"testing"
 	"time"
 )
@@ -58,6 +59,45 @@ func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
 	expectPanic("no run", &Scenario{Name: "x"})
 	expectPanic("duplicate", &Scenario{Name: "fig7-dapes",
 		Run: func(Scale, float64, int) (TrialResult, error) { return TrialResult{}, nil }})
+}
+
+// TestFindSuggestsNearMisses pins the descriptive-error contract: unknown
+// names answer with the closest registered scenarios, never a bare miss.
+func TestFindSuggestsNearMisses(t *testing.T) {
+	t.Parallel()
+	sc, err := Find("fig7-dapes")
+	if err != nil || sc == nil || sc.Name != "fig7-dapes" {
+		t.Fatalf("Find(fig7-dapes) = %v, %v", sc, err)
+	}
+
+	// One edit away: the error must name the intended scenario.
+	_, err = Find("fig7-dappes")
+	if err == nil {
+		t.Fatal("Find accepted a typo'd scenario name")
+	}
+	if !strings.Contains(err.Error(), `"fig7-dappes"`) || !strings.Contains(err.Error(), "fig7-dapes") {
+		t.Fatalf("Find error lacks the typo and the suggestion: %v", err)
+	}
+
+	// Substring of a registered name: suggested too.
+	_, err = Find("urban")
+	if err == nil || !strings.Contains(err.Error(), "urban-grid") {
+		t.Fatalf("Find(urban) error lacks urban-grid suggestion: %v", err)
+	}
+
+	// Nothing near: still a descriptive error pointing at -list.
+	_, err = Find("zzzzzzzzzzzz")
+	if err == nil || !strings.Contains(err.Error(), "-list") {
+		t.Fatalf("Find(zzz...) error = %v, want -list pointer", err)
+	}
+}
+
+func TestRunScenarioUnknownNameUsesFind(t *testing.T) {
+	t.Parallel()
+	_, err := Runner{}.RunScenario("fig7-dappes", tinyScale(), 60)
+	if err == nil || !strings.Contains(err.Error(), "fig7-dapes") {
+		t.Fatalf("RunScenario typo error = %v, want near-miss suggestion", err)
+	}
 }
 
 // TestPartitionedMergeHealsPartition checks the new scenario's point: the

@@ -119,11 +119,12 @@ func (r Runner) Run(sc *Scenario, s Scale, wifiRange float64) (RunResult, error)
 	}, nil
 }
 
-// RunScenario looks a scenario up by name and runs it.
+// RunScenario looks a scenario up by name and runs it. Unknown names fail
+// with Find's descriptive error (near-miss suggestions included).
 func (r Runner) RunScenario(name string, s Scale, wifiRange float64) (RunResult, error) {
-	sc, ok := Lookup(name)
-	if !ok {
-		return RunResult{}, fmt.Errorf("experiment: unknown scenario %q (run -list to enumerate)", name)
+	sc, err := Find(name)
+	if err != nil {
+		return RunResult{}, err
 	}
 	return r.Run(sc, s, wifiRange)
 }

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPlanFile holds the parser to its contract: any input — malformed
+// TOML or JSON, absurd grid sizes, unknown scenario names, hostile
+// numbers — may be rejected with an error, but must never panic, and a
+// plan that parses must validate clean (Cells bounded by MaxCells, every
+// cell Scale valid). Additional seeds live in testdata/fuzz/FuzzPlanFile.
+func FuzzPlanFile(f *testing.F) {
+	seeds := []string{
+		smokeTOML,
+		// Minimal valid TOML and JSON plans.
+		"name = \"a\"\nscenario = \"fig7-dapes\"\n",
+		`{"name":"a","scenario":"urban-grid","trials":2,"grid":{"ranges":[60]}}`,
+		// Unknown scenario: must error (with near-miss help), not panic.
+		"name = \"a\"\nscenario = \"fig7-dappes\"\n",
+		// Absurd grid: overflow-checked, never materialized.
+		"name = \"a\"\nscenario = \"fig7-dapes\"\n[grid]\nnodes = [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17]\nranges = [1.0,2.0,3.0,4.0,5.0,6.0,7.0,8.0,9.0,10.0,11.0,12.0,13.0,14.0,15.0,16.0,17.0]\nloss = [0.0,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,0.95,0.99,0.05,0.15,0.25,0.35]\n",
+		// Hostile numbers and strings.
+		"name = \"a\"\nscenario = \"fig7-dapes\"\ntrials = 99999999999999999999999999\n",
+		"name = \"a\"\nscenario = \"fig7-dapes\"\nseed = -9223372036854775808\n",
+		"name = \"\\\"\\n\\t\\\\\"\nscenario = \"fig7-dapes\"\n",
+		`{"name":"a","scenario":"fig7-dapes","seed":1e308}`,
+		`{"name":"a","scenario":"fig7-dapes","trials":1.5}`,
+		// Structural garbage.
+		"[", "]", "=", "\"", "[[]]", "{", "{}", "{\"a\":", "# only a comment\n",
+		"name = [\"a\", [\"b\"]]\n",
+		"x = 1\ny = [1, \"two\", 3.0, true]\n",
+		"name = \"a\"\nname = \"b\"\n",
+		"[grid]\n[grid]\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Parse returned both a plan and error %v", err)
+			}
+			return
+		}
+		// A parsed plan must be internally consistent: bounded grid,
+		// validate-clean, and deterministic re-expansion.
+		n, err := p.NumCells()
+		if err != nil {
+			t.Fatalf("parsed plan fails NumCells: %v", err)
+		}
+		if n < 1 || n > MaxCells {
+			t.Fatalf("parsed plan expands to %d cells", n)
+		}
+		cells := p.Cells()
+		if len(cells) != n {
+			t.Fatalf("Cells() = %d, NumCells = %d", len(cells), n)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed plan fails Validate: %v", err)
+		}
+		for i, c := range cells {
+			if c.Index != i || c.Seed != CellSeed(p.Seed, i) {
+				t.Fatalf("cell %d inconsistent: %+v", i, c)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsAreInterestingShapes sanity-checks that the corpus covers
+// the three documented rejection classes (so the fuzz seeds can't rot
+// into all-accepted or all-rejected).
+func TestFuzzSeedsAreInterestingShapes(t *testing.T) {
+	t.Parallel()
+	if _, err := Parse([]byte("name = \"a\"\nscenario = \"fig7-dapes\"\n")); err != nil {
+		t.Fatalf("minimal plan seed no longer parses: %v", err)
+	}
+	if _, err := Parse([]byte("name = \"a\"\nscenario = \"fig7-dappes\"\n")); err == nil ||
+		!strings.Contains(err.Error(), "fig7-dapes") {
+		t.Fatalf("unknown-scenario seed: %v", err)
+	}
+	if _, err := Parse([]byte("[")); err == nil {
+		t.Fatal("structural-garbage seed parses")
+	}
+}

@@ -1,0 +1,176 @@
+package plan
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dapes/internal/experiment"
+)
+
+func writeSnapshot(t *testing.T, dir string, s Snapshot) string {
+	t.Helper()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_"+strings.ReplaceAll(t.Name(), "/", "_")+string(rune('0'+s.Issue))+".json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func snapPair() (Snapshot, Snapshot) {
+	prev := Snapshot{
+		Issue:  4,
+		Wire:   []BenchPoint{{Name: "wire/decode-once", NsPerOp: 330, AllocsPerOp: 7}},
+		Phy:    []BenchPoint{{Name: "phy/broadcast", NsPerOp: 4300, AllocsPerOp: 6}},
+		Kernel: nil, // section appears in the later snapshot only
+		Scenarios: []ScenarioPoint{
+			{Name: "urban-grid", DownloadTime90S: 58.8, Transmissions90: 2761, Allocs: 141808},
+		},
+	}
+	cur := Snapshot{
+		Issue:  5,
+		Wire:   []BenchPoint{{Name: "wire/decode-once", NsPerOp: 332, AllocsPerOp: 7}},
+		Phy:    []BenchPoint{{Name: "phy/broadcast", NsPerOp: 4200, AllocsPerOp: 6}},
+		Kernel: []BenchPoint{{Name: "kernel/timer-reset", NsPerOp: 12, AllocsPerOp: 0}},
+		Scenarios: []ScenarioPoint{
+			{Name: "urban-grid", DownloadTime90S: 58.8, Transmissions90: 2761, Allocs: 137264},
+		},
+	}
+	return prev, cur
+}
+
+func TestTrajectoryReportCleanRun(t *testing.T) {
+	t.Parallel()
+	prev, cur := snapPair()
+	dir := t.TempDir()
+	// Load in reverse order: LoadTrajectory must sort by issue.
+	snaps, err := LoadTrajectory(writeSnapshot(t, dir, cur), writeSnapshot(t, dir, prev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].Issue != 4 || snaps[1].Issue != 5 {
+		t.Fatalf("trajectory not ordered by issue: %+v", snaps)
+	}
+	tables, brs, err := TrajectoryReport(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brs) != 0 {
+		t.Fatalf("clean trajectory reported breaches: %+v", brs)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d, want benches + scenarios + breaches", len(tables))
+	}
+	text := tables[0].String() + tables[1].String() + tables[2].String()
+	for _, want := range []string{"BENCH_4", "BENCH_5", "wire/decode-once", "urban-grid", "improved", "none"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+	// The kernel metric exists only at BENCH_5: earlier column renders as
+	// absent, and a single point can never breach.
+	if !strings.Contains(text, "kernel/timer-reset") || !strings.Contains(text, "—") {
+		t.Fatalf("new-metric handling missing:\n%s", text)
+	}
+}
+
+func TestTrajectoryReportFlagsBreaches(t *testing.T) {
+	t.Parallel()
+	prev, cur := snapPair()
+	cur.Wire[0].AllocsPerOp = 9       // wire gate is exact: 7 -> 9 breaches
+	cur.Phy[0].AllocsPerOp = 8        // phy gate has +2 slack: 6 -> 8 is the limit, ok
+	cur.Scenarios[0].Allocs = 300_000 // +50% gate: limit 212712, breaches
+	dir := t.TempDir()
+	snaps, err := LoadTrajectory(writeSnapshot(t, dir, prev), writeSnapshot(t, dir, cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, brs, err := TrajectoryReport(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brs) != 2 {
+		t.Fatalf("breaches = %+v, want wire + scenario", brs)
+	}
+	byMetric := map[string]Breach{}
+	for _, b := range brs {
+		byMetric[b.Metric] = b
+	}
+	if b, ok := byMetric["wire/decode-once (allocs/op)"]; !ok || b.Prev != 7 || b.Cur != 9 || b.Limit != 7 {
+		t.Fatalf("wire breach wrong: %+v", brs)
+	}
+	if b, ok := byMetric["urban-grid (allocs)"]; !ok || b.Limit != 141808*1.5 {
+		t.Fatalf("scenario breach wrong: %+v", brs)
+	}
+	text := tables[0].String() + tables[2].String()
+	if !strings.Contains(text, "REGRESSED") {
+		t.Fatalf("report does not flag the regression:\n%s", text)
+	}
+	// Phy stayed within its +2 slack.
+	for _, b := range brs {
+		if strings.HasPrefix(b.Metric, "phy/") {
+			t.Fatalf("phy slack not honored: %+v", b)
+		}
+	}
+}
+
+func TestTrajectoryRejectsDuplicateIssues(t *testing.T) {
+	t.Parallel()
+	prev, _ := snapPair()
+	dir := t.TempDir()
+	a := writeSnapshot(t, filepath.Join(dir), prev)
+	bdir := filepath.Join(dir, "b")
+	if err := os.MkdirAll(bdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b := writeSnapshot(t, bdir, prev)
+	if _, err := LoadTrajectory(a, b); err == nil || !strings.Contains(err.Error(), "issue 4") {
+		t.Fatalf("duplicate issues accepted: %v", err)
+	}
+	if _, err := LoadTrajectory(); err == nil {
+		t.Fatal("empty path list accepted")
+	}
+	if _, err := LoadTrajectory(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrajectory(bad); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}
+
+// TestCommittedTrajectoryIsClean pins the acceptance criterion on the real
+// artifacts: the checked-in BENCH_4 -> BENCH_5 trajectory renders and no
+// gated metric regressed (the alloc curve bends down).
+func TestCommittedTrajectoryIsClean(t *testing.T) {
+	t.Parallel()
+	snaps, err := LoadTrajectory("../../BENCH_4.json", "../../BENCH_5.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, brs, err := TrajectoryReport(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brs) != 0 {
+		t.Fatalf("committed trajectory has breaches: %+v", brs)
+	}
+	var buf strings.Builder
+	if err := experiment.EmitTables(&buf, experiment.FormatText, tables...); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BENCH_4", "BENCH_5", "urban-grid-xl", "improved"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("committed-trajectory report missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"dapes/internal/experiment"
+)
+
+// CellResult is one grid cell's aggregate, the JSON-lines record the
+// harness streams. Field order is fixed by this struct, and every value is
+// a pure function of the plan file, so the stream is byte-identical across
+// worker counts and process runs.
+type CellResult struct {
+	Plan     string `json:"plan"`
+	Cell     int    `json:"cell"`
+	Scenario string `json:"scenario"`
+	// Grid coordinates.
+	Nodes      int     `json:"nodes"`
+	RangeM     float64 `json:"range_m"`
+	Loss       float64 `json:"loss"`
+	HorizonSec float64 `json:"horizon_sec"`
+	// Seed is the cell's derived base seed (CellSeed(plan seed, cell)).
+	Seed   int64 `json:"seed"`
+	Trials int   `json:"trials"`
+	// Aggregates: the paper's p90 statistics plus completion totals summed
+	// over trials and the mean forwarding accuracy.
+	DownloadP90Sec   float64 `json:"download_time_p90_sec"`
+	TransmissionsP90 float64 `json:"transmissions_p90"`
+	Completed        int     `json:"completed"`
+	Downloaders      int     `json:"downloaders"`
+	ForwardAccuracy  float64 `json:"forward_accuracy"`
+}
+
+// Options configures one plan execution.
+type Options struct {
+	// Workers bounds how many grid cells run concurrently; <= 1 is serial.
+	// Within a cell, trials run serially — the plan's unit of fan-out is
+	// the cell, and the worker count never changes any output byte.
+	Workers int
+	// Stream, when non-nil, receives one JSON line per cell in cell-index
+	// order as results become available.
+	Stream io.Writer
+}
+
+// Result is one completed plan run.
+type Result struct {
+	Plan  *Plan
+	Cells []CellResult
+}
+
+// Run expands the plan's grid and executes every cell through the
+// experiment Runner, fanning cells across Options.Workers goroutines.
+// Results stream to Options.Stream strictly in cell-index order (cell i
+// is written only after cells 0..i-1), which together with per-cell seed
+// derivation makes the stream byte-identical for any worker count. Errors
+// fail fast: no new cells start once one has failed, and the
+// lowest-indexed recorded failure is reported.
+func Run(p *Plan, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sc, err := experiment.Find(p.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	cells := p.Cells()
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]CellResult, len(cells))
+	errs := make([]error, len(cells))
+	st := &orderedStream{w: opt.Stream, done: make([]bool, len(cells)), results: results, errs: errs}
+
+	runCell := func(i int) error {
+		res, err := experiment.Runner{Workers: 1}.Run(sc, cells[i].Scale, cells[i].Range)
+		if err != nil {
+			return err
+		}
+		results[i] = cellResult(p, cells[i], res)
+		return nil
+	}
+
+	if workers == 1 {
+		for i := range cells {
+			if errs[i] = runCell(i); errs[i] != nil {
+				break
+			}
+			if err := st.complete(i); err != nil {
+				return nil, fmt.Errorf("plan %q: streaming results: %w", p.Name, err)
+			}
+		}
+	} else {
+		var failed atomic.Bool
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if failed.Load() {
+						continue
+					}
+					if errs[i] = runCell(i); errs[i] != nil {
+						failed.Store(true)
+						continue
+					}
+					if err := st.complete(i); err != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		for i := range cells {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("plan %q: cell %d (nodes=%d range=%gm loss=%g): %w",
+				p.Name, i, c.Nodes, c.Range, c.Loss, err)
+		}
+	}
+	if st.err != nil {
+		return nil, fmt.Errorf("plan %q: streaming results: %w", p.Name, st.err)
+	}
+	return &Result{Plan: p, Cells: results}, nil
+}
+
+// orderedStream writes cell results as JSON lines strictly in index order:
+// complete(i) marks cell i done and flushes the longest done prefix. The
+// mutex serializes writers; the write error is sticky and surfaces after
+// the run (workers treat it as a failure signal).
+type orderedStream struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int
+	done    []bool
+	results []CellResult
+	errs    []error
+	err     error
+}
+
+func (s *orderedStream) complete(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done[i] = true
+	for s.next < len(s.done) && s.done[s.next] && s.errs[s.next] == nil {
+		if s.w != nil && s.err == nil {
+			s.err = writeJSONLine(s.w, s.results[s.next])
+		}
+		s.next++
+	}
+	return s.err
+}
+
+// writeJSONLine emits one compact JSON object terminated by '\n'.
+// encoding/json formats floats deterministically, so identical values
+// always produce identical bytes.
+func writeJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// cellResult folds one cell's RunResult into the streamed record.
+func cellResult(p *Plan, c Cell, r experiment.RunResult) CellResult {
+	out := CellResult{
+		Plan:             p.Name,
+		Cell:             c.Index,
+		Scenario:         p.Scenario,
+		Nodes:            c.Nodes,
+		RangeM:           c.Range,
+		Loss:             c.Loss,
+		HorizonSec:       c.Horizon.Seconds(),
+		Seed:             c.Seed,
+		Trials:           len(r.Trials),
+		DownloadP90Sec:   r.DownloadTime90.Seconds(),
+		TransmissionsP90: r.Transmissions90,
+	}
+	var accSum float64
+	for _, tr := range r.Trials {
+		out.Completed += tr.Completed
+		out.Downloaders += tr.Downloaders
+		accSum += tr.ForwardAccuracy
+	}
+	if len(r.Trials) > 0 {
+		out.ForwardAccuracy = accSum / float64(len(r.Trials))
+	}
+	return out
+}
+
+// Tables renders the run report: the full grid table plus, per optimize
+// target, the best and worst cells (ties break to the lowest cell index).
+func (r *Result) Tables() []experiment.Table {
+	grid := experiment.Table{
+		Title: fmt.Sprintf("Plan %s: %s over %d cells", r.Plan.Name, r.Plan.Scenario, len(r.Cells)),
+		Note:  r.Plan.Summary,
+		Header: []string{"cell", "nodes", "range_m", "loss", "horizon_s",
+			"download_p90_s", "tx_p90", "completed", "fwd_acc"},
+	}
+	for _, c := range r.Cells {
+		grid.Rows = append(grid.Rows, []string{
+			fmt.Sprintf("%d", c.Cell),
+			fmt.Sprintf("%d", c.Nodes),
+			fmt.Sprintf("%g", c.RangeM),
+			fmt.Sprintf("%g", c.Loss),
+			fmt.Sprintf("%g", c.HorizonSec),
+			fmt.Sprintf("%.1f", c.DownloadP90Sec),
+			fmt.Sprintf("%.0f", c.TransmissionsP90),
+			fmt.Sprintf("%d/%d", c.Completed, c.Downloaders),
+			fmt.Sprintf("%.2f", c.ForwardAccuracy),
+		})
+	}
+	tables := []experiment.Table{grid}
+
+	if len(r.Plan.Optimize) > 0 && len(r.Cells) > 0 {
+		best := experiment.Table{
+			Title:  fmt.Sprintf("Plan %s: best/worst cells per target", r.Plan.Name),
+			Header: []string{"target", "best cell", "best value", "worst cell", "worst value"},
+		}
+		for _, t := range r.Plan.Optimize {
+			info := metrics[t.Metric]
+			bi, wi := 0, 0
+			for i, c := range r.Cells {
+				v, bv, wv := info.value(c), info.value(r.Cells[bi]), info.value(r.Cells[wi])
+				better, worse := v < bv, v > wv
+				if t.Maximize {
+					better, worse = v > bv, v < wv
+				}
+				if better {
+					bi = i
+				}
+				if worse {
+					wi = i
+				}
+			}
+			cellLabel := func(i int) string {
+				c := r.Cells[i]
+				return fmt.Sprintf("%d (nodes=%d range=%gm loss=%g)", c.Cell, c.Nodes, c.RangeM, c.Loss)
+			}
+			best.Rows = append(best.Rows, []string{
+				t.String(),
+				cellLabel(bi), fmt.Sprintf("%.3f", info.value(r.Cells[bi])),
+				cellLabel(wi), fmt.Sprintf("%.3f", info.value(r.Cells[wi])),
+			})
+		}
+		tables = append(tables, best)
+	}
+	return tables
+}

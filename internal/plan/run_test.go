@@ -1,0 +1,148 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dapes/internal/experiment"
+)
+
+// runToBytes executes p capturing the JSON-lines stream and the rendered
+// report tables as one byte stream, the way the CLI presents them.
+func runToBytes(t *testing.T, p *Plan, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := Run(p, Options{Workers: workers, Stream: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := experiment.EmitTables(&buf, experiment.FormatText, res.Tables()...); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenPlanDeterminism is the plan harness's core guarantee and the
+// grid-cell extension of the PR-1 TrialSeed contract: the full output —
+// JSON-lines stream plus report tables — is byte-identical whether cells
+// run serially or fan out across four workers.
+func TestGoldenPlanDeterminism(t *testing.T) {
+	t.Parallel()
+	p, err := Parse([]byte(smokeTOML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to 4 cells x 1 trial to keep the double run fast while still
+	// exercising real fan-out (4 workers, 4 cells).
+	p.Trials = 1
+	p.Grid.Nodes = []int{1}
+	serial := runToBytes(t, p, 1)
+	parallel := runToBytes(t, p, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("plan output diverged between -workers=1 and -workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if !bytes.Equal(serial, runToBytes(t, p, 2)) {
+		t.Fatal("plan output diverged at -workers=2")
+	}
+}
+
+// TestCommittedPlansRunDeterministically parses every committed plan file
+// and proves the CI smoke plan's byte-identity contract on the real
+// artifact CI runs.
+func TestCommittedPlansRunDeterministically(t *testing.T) {
+	t.Parallel()
+	plans, err := filepath.Glob("../../plans/*.toml")
+	if err != nil || len(plans) < 3 {
+		t.Fatalf("committed plans missing: %v, %v", plans, err)
+	}
+	for _, path := range plans {
+		if _, err := ParseFile(path); err != nil {
+			t.Errorf("%s does not parse: %v", path, err)
+		}
+	}
+
+	p, err := ParseFile("../../plans/ci-smoke.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := runToBytes(t, p, 1)
+	parallel := runToBytes(t, p, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("ci-smoke output diverged between -workers=1 and -workers=4:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+func TestRunStreamsValidJSONLinesInCellOrder(t *testing.T) {
+	t.Parallel()
+	p, err := Parse([]byte(smokeTOML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Trials = 1
+	p.Grid.Nodes = []int{1}
+	var buf bytes.Buffer
+	res, err := Run(p, Options{Workers: 4, Stream: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Cells) {
+		t.Fatalf("streamed %d lines for %d cells", len(lines), len(res.Cells))
+	}
+	for i, line := range lines {
+		var rec CellResult
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if rec.Cell != i {
+			t.Fatalf("line %d carries cell %d: stream out of order", i, rec.Cell)
+		}
+		if rec.Plan != p.Name || rec.Scenario != p.Scenario {
+			t.Fatalf("line %d mislabeled: %+v", i, rec)
+		}
+		if rec.Seed != CellSeed(p.Seed, i) {
+			t.Fatalf("line %d seed %d, want %d", i, rec.Seed, CellSeed(p.Seed, i))
+		}
+	}
+	// The buffered result matches the stream.
+	for i, c := range res.Cells {
+		if c.Cell != i {
+			t.Fatalf("result cell %d out of order: %+v", i, c)
+		}
+	}
+}
+
+func TestRunFailsFastOnBadPlan(t *testing.T) {
+	t.Parallel()
+	p := &Plan{Name: "bad", Scenario: "no-such-scenario", Trials: 1, Seed: 1, Base: experiment.ReducedScale()}
+	p.ApplyDefaults()
+	if _, err := Run(p, Options{}); err == nil {
+		t.Fatal("Run accepted an unregistered scenario")
+	}
+}
+
+func TestRunPropagatesStreamErrors(t *testing.T) {
+	t.Parallel()
+	p, err := Parse([]byte(smokeTOML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Trials = 1
+	p.Grid.Nodes = []int{1}
+	p.Grid.Loss = []float64{0.1}
+	for _, workers := range []int{1, 4} {
+		_, err = Run(p, Options{Workers: workers, Stream: failingWriter{}})
+		if err == nil || !strings.Contains(err.Error(), "streaming") {
+			t.Fatalf("workers=%d: stream error not surfaced: %v", workers, err)
+		}
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("sink full") }
