@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-nfd bench-json bench-check golden plan plan-report
+.PHONY: all build vet test race bench bench-nfd bench-json bench-check golden examples plan plan-report
 
 all: vet build test
 
@@ -27,21 +27,23 @@ bench-nfd:
 	$(GO) test -run=NONE -bench='BenchmarkCsPrefixFind|BenchmarkFibLookup' -benchmem -benchtime=300ms ./internal/nfd/
 
 # Machine-readable perf snapshot: wire-path, dense-broadcast, and
-# event-kernel micro-benches (heap-vs-wheel churn, Timer.Reset) plus
-# download time and total allocations for the dense urban-grid scenarios,
-# as stable JSON. BENCH_5.json is the checked-in perf-trajectory entry for
-# the timer-wheel kernel PR (BENCH_4.json is the zero-copy wire path's);
-# regenerate it with this target when a PR intentionally moves the numbers.
+# event-kernel micro-benches (heap-vs-wheel churn, Timer.Reset), download
+# time and total allocations for the dense urban scenarios, and the
+# shard-scaling section (sequential vs 2 vs 4 stripes wall-clock), as
+# stable JSON. BENCH_6.json is the checked-in perf-trajectory entry for
+# the space-partitioned parallel kernel PR (BENCH_5.json the timer wheel's,
+# BENCH_4.json the zero-copy wire path's); regenerate it with this target
+# when a PR intentionally moves the numbers.
 bench-json:
-	$(GO) run ./cmd/bench-snapshot -issue 5 -o BENCH_5.json
-	@cat BENCH_5.json
+	$(GO) run ./cmd/bench-snapshot -issue 6 -o BENCH_6.json
+	@cat BENCH_6.json
 
 # The perf gate CI runs: re-measures and FAILS if the hardware-independent
 # alloc numbers (wire and kernel allocs/op exactly — Timer.Reset is pinned
 # at 0 — phy +2 slack, scenario totals +50%) regressed against the
-# committed BENCH_5.json. Times never gate — they move with hardware.
+# committed BENCH_6.json. Times never gate — they move with hardware.
 bench-check:
-	$(GO) run ./cmd/bench-snapshot -issue 5 -check BENCH_5.json
+	$(GO) run ./cmd/bench-snapshot -issue 6 -check BENCH_6.json
 
 # The plan smoke: run the committed CI plan file through the declarative
 # harness with a 4-worker fan-out. The JSON-lines stream and report are
@@ -58,12 +60,18 @@ plan:
 plan-report:
 	$(GO) run ./cmd/dapes-plan report -fail-on-breach
 
-# The determinism gates: grid==naive and wheel==heap byte-identical for
-# every registered scenario, baselines identical across reruns, the
-# kernel's randomized-churn equivalence property, and the forwarder's
-# zero-alloc lookup contract.
+# The determinism gates: grid==naive, wheel==heap, and sharded==sequential
+# byte-identical for every registered scenario, baselines identical across
+# reruns, the kernel's randomized-churn equivalence properties (including
+# serial==parallel window execution for the sharded kernel), and the
+# forwarder's zero-alloc lookup contract.
 golden:
-	$(GO) test -run 'TestGoldenTraceGridMatchesNaive|TestGoldenTraceWheelMatchesHeap|TestBaselineTrialsDeterministic' -count=1 ./internal/experiment/
-	$(GO) test -run 'TestGridMatchesNaiveTrace' -count=1 ./internal/phy/
-	$(GO) test -run 'TestWheelMatchesHeapUnderChurn|TestCancelReclaimsQueueSpace|TestTimerResetDoesNotAllocate' -count=1 ./internal/sim/
+	$(GO) test -run 'TestGoldenTraceGridMatchesNaive|TestGoldenTraceWheelMatchesHeap|TestGoldenTraceShardedMatchesSequential|TestBaselineTrialsDeterministic|TestShardedTrialSerialMatchesParallel' -count=1 ./internal/experiment/
+	$(GO) test -run 'TestGridMatchesNaiveTrace|TestShardedMediumSingleShardMatchesMedium|TestShardedMediumSerialMatchesParallel' -count=1 ./internal/phy/
+	$(GO) test -run 'TestWheelMatchesHeapUnderChurn|TestCancelReclaimsQueueSpace|TestTimerResetDoesNotAllocate|TestShardedSingleShardMatchesKernel|TestShardedSerialMatchesParallel' -count=1 ./internal/sim/
 	$(GO) test -run 'TestLookupPathsDoNotAllocate' -count=1 ./internal/nfd/
+
+# The example binaries, built and executed end to end: each must exit 0
+# within its deadline (examples/smoke_test.go).
+examples:
+	$(GO) test -count=1 ./examples/

@@ -38,6 +38,7 @@ func run() error {
 		trials    = flag.Int("trials", 3, "trials (paper: 10)")
 		seed      = flag.Int64("seed", 1, "base random seed; trial t runs at TrialSeed(seed, t)")
 		horizon   = flag.Duration("horizon", 45*time.Minute, "per-trial virtual time limit")
+		shards    = flag.Int("shards", 0, "space-partitioned kernel stripes per trial (0 = scenario default, 1 = sequential-equivalent)")
 
 		system      = flag.String("system", "dapes", "ad-hoc stack when -scenario is unset: dapes, bithoc, or ekta")
 		strategy    = flag.String("strategy", "local", "RPF strategy: local or encounter")
@@ -67,6 +68,7 @@ func run() error {
 	s.BaseSeed = *seed
 	s.Horizon = *horizon
 	s.Workers = *workers
+	s.Shards = *shards
 	runner := experiment.Runner{} // pool size comes from s.Workers
 
 	if *scenario != "" {

@@ -1,0 +1,56 @@
+// Package examples_test smoke-tests the example programs: each must build
+// and run to completion with a zero exit status inside a deadline. The
+// examples are the repository's executable documentation — `make examples`
+// and CI run this so a refactor that breaks their API usage (or an example
+// that stops terminating) fails by name instead of rotting silently.
+package examples_test
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// examplePrograms lists every example binary; add new examples here so the
+// smoke keeps covering them.
+var examplePrograms = []string{
+	"quickstart",
+	"multihop",
+	"disasterrelay",
+	"reposync",
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and running the example binaries is not short")
+	}
+	for _, name := range examplePrograms {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s: %v\n%s", name, err, out)
+			}
+
+			// The examples are deterministic simulations that finish in
+			// seconds; a generous deadline distinguishes "slow machine" from
+			// "stopped terminating".
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, bin).CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("%s did not finish within the deadline\noutput so far:\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("%s exited with %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output; the walkthrough narration is part of its contract", name)
+			}
+		})
+	}
+}

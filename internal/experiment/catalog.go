@@ -183,4 +183,22 @@ func init() {
 		},
 		Run: urbanGridXLTrial,
 	})
+	Register(&Scenario{
+		Name:      "urban-metro",
+		Summary:   "urban-grid-xl's node mix on the space-partitioned parallel kernel",
+		Optimizes: "scaling: one trial across all cores at 50k+ nodes (plans/urban-metro.toml)",
+		Narrative: "The 25x node mix in a density-preserving area (edge grows with " +
+			"sqrt(nodes), holding the paper's nodes-per-square-meter), run on the " +
+			"sharded kernel: vertical stripes advance in lockstep lookahead windows " +
+			"and exchange cross-boundary broadcasts at window edges. One shard is " +
+			"byte-identical to the sequential kernel; more shards trade the global " +
+			"trace for wall-clock, as documented in docs/PERFORMANCE.md.",
+		Params: []Param{
+			{Name: "nodes", Value: "25x Scale node mix", Doc: "metropolitan node count; plans/urban-metro.toml reaches 50k"},
+			{Name: "area", Value: "300 m x sqrt(nodes/45) square (AreaSide=0 default)", Doc: "density-preserving edge"},
+			{Name: "shards", Value: "Scale.Shards, else SetDefaultShards, else 4", Doc: "stripe count (1 = sequential-equivalent)"},
+			{Name: "lookahead", Value: "10x conservative", Doc: "relaxed window; cross-stripe delivery slips <= 1 window"},
+		},
+		Run: urbanMetroTrial,
+	})
 }

@@ -47,8 +47,19 @@ func (o DAPESOptions) coreConfig() core.Config {
 }
 
 // RunDAPESTrial executes one Fig.-7 trial of the DAPES stack and returns its
-// metrics.
+// metrics. When Scale.Shards (or the SetDefaultShards package default)
+// selects a shard count, the trial runs on the space-partitioned parallel
+// kernel instead of the sequential reference; see RunShardedDAPESTrial for
+// the equivalence and relaxation contract.
 func RunDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptions) (TrialResult, error) {
+	if n := resolveShards(s); n > 0 {
+		return RunShardedDAPESTrial(s, wifiRange, trial, opts, n, 0)
+	}
+	return runSequentialDAPESTrial(s, wifiRange, trial, opts)
+}
+
+// runSequentialDAPESTrial is the single-kernel reference implementation.
+func runSequentialDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptions) (TrialResult, error) {
 	topo := buildTopology(s, wifiRange, trial)
 	res, err := buildCollection(s, s.BaseSeed+int64(trial))
 	if err != nil {
@@ -111,10 +122,12 @@ func RunDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptions) (Tr
 		return true
 	})
 
-	return collectDAPES(topo, collection, downloaders, intermediates, pures, s.Horizon), nil
+	return collectDAPES(topo.medium.Stats().Transmissions, collection, downloaders, intermediates, pures, s.Horizon), nil
 }
 
-func collectDAPES(topo *topology, collection ndn.Name, downloaders, intermediates []*core.Peer, pures []*multihop.PureForwarder, horizon time.Duration) TrialResult {
+// collectDAPES folds one finished trial's peers into a TrialResult; tx is
+// the medium's (or sharded medium's summed) transmission counter.
+func collectDAPES(tx uint64, collection ndn.Name, downloaders, intermediates []*core.Peer, pures []*multihop.PureForwarder, horizon time.Duration) TrialResult {
 	var total time.Duration
 	completed := 0
 	memory := 0
@@ -144,7 +157,7 @@ func collectDAPES(topo *topology, collection ndn.Name, downloaders, intermediate
 	}
 	return TrialResult{
 		AvgDownloadTime: total / time.Duration(len(downloaders)),
-		Transmissions:   topo.medium.Stats().Transmissions,
+		Transmissions:   tx,
 		Completed:       completed,
 		Downloaders:     len(downloaders),
 		ForwardAccuracy: acc,

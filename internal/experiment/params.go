@@ -45,7 +45,10 @@ type Scale struct {
 	Intermediates  int
 	// LossRate is the per-reception loss probability (paper: 10%).
 	LossRate float64
-	// BaseSeed feeds per-trial deterministic seeds via TrialSeed.
+	// BaseSeed feeds per-trial deterministic seeds via TrialSeed. Any int64
+	// is valid — the seed derivations (TrialSeed, plan.CellSeed,
+	// sim.ShardSeed) wrap two's-complement near the boundary, so Validate
+	// deliberately imposes no range on it.
 	BaseSeed int64
 	// Workers bounds how many trials run concurrently wherever a figure or
 	// scenario fans out through Runner (it is the Runner's default pool
@@ -55,6 +58,15 @@ type Scale struct {
 	// AreaSide overrides the Fig.-7 simulation area edge in meters; 0 keeps
 	// the paper's 300 m square.
 	AreaSide float64
+	// Shards selects space-partitioned parallel execution for the DAPES
+	// trial path: the world is cut into vertical stripes (geo.ShardOf),
+	// each running its own sim.Kernel in lockstep lookahead windows. 0
+	// defers to the scenario (most stay sequential; urban-metro defaults to
+	// 4); 1 runs the sharded path with a single shard, which is
+	// byte-identical to the sequential kernel (the golden sharded gate).
+	// Values above 1 relax the global-trace contract as documented in
+	// docs/PERFORMANCE.md.
+	Shards int
 }
 
 // ReducedScale is the default: 10 files x 20 packets (200 KB collection),
@@ -133,6 +145,8 @@ func (s Scale) Validate() error {
 		return fmt.Errorf("experiment: Scale.Workers = %d, must be >= 0", s.Workers)
 	case s.AreaSide < 0:
 		return fmt.Errorf("experiment: Scale.AreaSide = %g, must be >= 0", s.AreaSide)
+	case s.Shards < 0:
+		return fmt.Errorf("experiment: Scale.Shards = %d, must be >= 0", s.Shards)
 	}
 	for i, r := range s.Ranges {
 		if r <= 0 {

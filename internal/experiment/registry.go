@@ -11,8 +11,14 @@ import (
 // base seed and the trial index. Every trial runner — serial or parallel —
 // must obtain its seed here so that the trial schedule is a pure function of
 // (BaseSeed, trial) and fan-out order cannot perturb results.
+//
+// The arithmetic is defined as two's-complement wrap: it runs in uint64 and
+// converts back, so a BaseSeed near the int64 boundary produces the same
+// (wrapped) seed on every platform instead of leaning on signed-overflow
+// behavior. Every int64 BaseSeed is therefore valid — Scale.Validate does
+// not bound it — and plan.CellSeed makes the same promise for cell seeds.
 func TrialSeed(base int64, trial int) int64 {
-	return base + int64(trial)*7919
+	return int64(uint64(base) + uint64(int64(trial))*7919)
 }
 
 // TrialFunc runs one independent trial of a scenario. Implementations must

@@ -26,7 +26,7 @@ func MaxSpeedOf(m Mobility) float64 {
 }
 
 // gridCell addresses one bucket of the uniform hash grid.
-type gridCell struct{ x, y int32 }
+type gridCell struct{ x, y int64 }
 
 // Grid is a uniform spatial hash index mapping small non-negative integer
 // IDs to 2D positions. Cells are square with a fixed edge; a range query
@@ -59,10 +59,31 @@ func NewGrid(cellSize float64) *Grid {
 // CellSize returns the cell edge length the grid was built with.
 func (g *Grid) CellSize() float64 { return g.cell }
 
+// cellCoord converts one floored cell index to int64, clamping instead of
+// truncating. The seed implementation cast through int32, so a mobility
+// model wandering past ±2³¹ cells silently aliased distant buckets and
+// broke QueryRange's documented superset guarantee. The clamp bound sits
+// far beyond the last float64 with unit precision, so clamped coordinates
+// still order correctly against every in-range value, and NaN (from a
+// degenerate position) maps to a fixed cell instead of tripping Go's
+// implementation-defined float→int conversion.
+func cellCoord(v float64) int64 {
+	const bound = int64(1) << 62
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v >= float64(bound):
+		return bound
+	case v <= -float64(bound):
+		return -bound
+	}
+	return int64(v)
+}
+
 func (g *Grid) cellFor(p Point) gridCell {
 	return gridCell{
-		x: int32(math.Floor(p.X / g.cell)),
-		y: int32(math.Floor(p.Y / g.cell)),
+		x: cellCoord(math.Floor(p.X / g.cell)),
+		y: cellCoord(math.Floor(p.Y / g.cell)),
 	}
 }
 

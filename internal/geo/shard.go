@@ -1,0 +1,52 @@
+package geo
+
+import "math"
+
+// Shard assignment for space-partitioned simulation: the world is cut into
+// n vertical stripes of whole grid cells, so a shard boundary is always a
+// cell boundary and a node's shard follows directly from the same floor
+// arithmetic that buckets it in a Grid. Stripes (rather than a 2D tiling)
+// keep the boundary surface — and therefore cross-shard handoff volume —
+// proportional to one world edge per extra shard, which is the right shape
+// for the roughly uniform node densities the experiment scenarios use.
+
+// ShardOf maps a position to a shard in [0, n): vertical stripes of whole
+// cells of edge cellSize covering [0, width) on the X axis, partitioned
+// proportionally (stripe widths differ by at most one cell, and every
+// stripe is non-empty whenever n ≤ cell count — a ceil-width split would
+// leave tail shards permanently idle). Positions outside [0, width) clamp
+// to the nearest stripe, so wandering mobility models keep a valid home.
+// n < 2 always maps to shard 0. It panics on a non-positive cell size,
+// mirroring NewGrid.
+func ShardOf(p Point, cellSize, width float64, n int) int {
+	if !(cellSize > 0) {
+		panic("geo: ShardOf requires a positive cell size")
+	}
+	if n < 2 {
+		return 0
+	}
+	cells := cellCoord(math.Ceil(width / cellSize))
+	if cells < 1 {
+		cells = 1
+	}
+	cx := cellCoord(math.Floor(p.X / cellSize))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= cells {
+		cx = cells - 1
+	}
+	var s int
+	if cells <= math.MaxInt64/int64(n) {
+		s = int(cx * int64(n) / cells)
+	} else {
+		// Astronomically wide world: the proportional product would
+		// overflow; equal stripes of floor(cells/n) cells are near-exact at
+		// this scale.
+		s = int(cx / (cells / int64(n)))
+	}
+	if s >= n {
+		s = n - 1
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGridFarCoordinatesDoNotAlias is the int32-truncation regression test:
+// the seed cellFor cast math.Floor through int32, so two nodes more than
+// 2³¹ cells apart could land in the same bucket — a query near one would
+// return the other, and worse, a node near the origin could miss a genuine
+// neighbor whose aliased cell fell outside the scanned window. Distant
+// nodes must stay out of each other's query results, and a genuine
+// co-located pair at extreme coordinates must still find each other.
+func TestGridFarCoordinatesDoNotAlias(t *testing.T) {
+	t.Parallel()
+	g := NewGrid(10)
+	// 2³² cells of 10m ≈ 4.3e10 m. Under int32 truncation the far node's
+	// cell index wraps to exactly the origin cell.
+	far := float64(1<<32) * 10
+	g.Insert(0, Point{X: 5, Y: 5})
+	g.Insert(1, Point{X: far + 5, Y: 5})
+	if got := g.QueryRange(Point{X: 5, Y: 5}, 15, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("query near origin = %v, want [0] (far node aliased into the origin cell)", got)
+	}
+	if got := g.QueryRange(Point{X: far + 5, Y: 5}, 15, nil); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("query near far node = %v, want [1]", got)
+	}
+
+	// A co-located pair out past the old wrap point must still see each
+	// other (superset guarantee holds at extreme coordinates).
+	g.Insert(2, Point{X: -far + 3, Y: -far + 3})
+	g.Insert(3, Point{X: -far + 7, Y: -far + 7})
+	got := g.QueryRange(Point{X: -far + 5, Y: -far + 5}, 15, nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("query at far negative coordinates = %v, want [2 3]", got)
+	}
+}
+
+// TestCellCoordClamps pins the conversion contract: coordinates beyond the
+// clamp bound saturate (preserving order against every in-range value)
+// instead of hitting Go's implementation-defined float→int conversion, and
+// NaN maps to a fixed cell.
+func TestCellCoordClamps(t *testing.T) {
+	t.Parallel()
+	const bound = int64(1) << 62
+	cases := []struct {
+		v    float64
+		want int64
+	}{
+		{0, 0},
+		{-1, -1},
+		{1e6, 1_000_000},
+		{math.Inf(1), bound},
+		{math.Inf(-1), -bound},
+		{1e300, bound},
+		{-1e300, -bound},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := cellCoord(c.v); got != c.want {
+			t.Fatalf("cellCoord(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestShardOfStripes(t *testing.T) {
+	t.Parallel()
+	const cell, width = 100.0, 1000.0 // 10 cells
+	// 4 shards over 10 cells, proportional split floor(cx·4/10): stripes of
+	// cells [0..2] [3..4] [5..7] [8..9] — widths differ by at most one cell.
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {299, 0}, {300, 1}, {499, 1}, {500, 2}, {799, 2}, {800, 3}, {999, 3},
+		{-50, 0},  // clamp left
+		{5000, 3}, // clamp right
+		{1000, 3}, // exactly the width edge clamps into the last stripe
+	}
+	for _, c := range cases {
+		if got := ShardOf(Point{X: c.x, Y: 500}, cell, width, 4); got != c.want {
+			t.Fatalf("ShardOf(x=%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+
+	// Fewer than 2 shards is always shard 0; Y never matters.
+	if got := ShardOf(Point{X: 950, Y: -1e9}, cell, width, 1); got != 0 {
+		t.Fatalf("ShardOf with n=1 = %d, want 0", got)
+	}
+
+	// Every position maps into [0, n) even when n exceeds the cell count.
+	for n := 2; n <= 16; n++ {
+		for x := -200.0; x <= 1200; x += 37 {
+			s := ShardOf(Point{X: x}, cell, width, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(x=%v, n=%d) = %d, out of range", x, n, s)
+			}
+		}
+	}
+
+	// Shard assignment is monotone in X: walking right never decreases the
+	// shard index (stripes are contiguous).
+	for n := 2; n <= 8; n++ {
+		prev := 0
+		for x := 0.0; x < width; x++ {
+			s := ShardOf(Point{X: x}, cell, width, n)
+			if s < prev {
+				t.Fatalf("ShardOf not monotone at x=%v n=%d: %d after %d", x, n, s, prev)
+			}
+			prev = s
+		}
+		if prev != n-1 && float64(n) <= width/cell {
+			t.Fatalf("n=%d: rightmost position lands in shard %d, want %d (all stripes populated)", n, prev, n-1)
+		}
+	}
+}

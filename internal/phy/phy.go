@@ -167,7 +167,13 @@ type reception struct {
 
 // Radio is one node's attachment to the medium.
 type Radio struct {
-	id       int
+	// id is the radio's wire-visible identity (Frame.From). In a standalone
+	// medium it equals idx; in a sharded composition it comes from a counter
+	// shared across the member mediums so identities stay globally unique.
+	id int
+	// idx is the radio's slot in its own medium — the grid key and the
+	// m.radios index. Never wire-visible.
+	idx      int
 	medium   *Medium
 	mobility geo.Mobility
 	handler  Handler
@@ -252,6 +258,20 @@ type Medium struct {
 	cand        []*Radio
 	recFree     []*reception
 	recListFree [][]*reception
+
+	// Sharded composition hooks (nil/zero on a standalone medium): shard is
+	// this medium's index, nextID the shared radio-identity counter, and
+	// cross the fan-out that hands broadcasts to sibling shards.
+	shard  int
+	nextID *int
+	cross  crossShard
+}
+
+// crossShard is the hook a sharded composition (ShardedMedium) installs on
+// each member medium: every broadcast is offered to sibling shards, whose
+// own grids decide which of their radios are in range.
+type crossShard interface {
+	handoff(fromShard int, center geo.Point, fromID int, payload []byte, size int, start, end time.Duration)
 }
 
 // NewMedium creates a medium over the given simulation kernel.
@@ -273,8 +293,14 @@ func (m *Medium) Stats() Stats { return m.stats }
 
 // Attach adds a radio with the given mobility model and returns it.
 func (m *Medium) Attach(mobility geo.Mobility) *Radio {
+	id := len(m.radios)
+	if m.nextID != nil {
+		id = *m.nextID
+		*m.nextID++
+	}
 	r := &Radio{
-		id:       len(m.radios),
+		id:       id,
+		idx:      len(m.radios),
 		medium:   m,
 		mobility: mobility,
 		enabled:  true,
@@ -282,7 +308,7 @@ func (m *Medium) Attach(mobility geo.Mobility) *Radio {
 	}
 	m.radios = append(m.radios, r)
 	if m.grid != nil {
-		m.grid.Insert(r.id, m.positionOf(r))
+		m.grid.Insert(r.idx, m.positionOf(r))
 		switch {
 		case r.maxSpeed == 0:
 			// Never moves; its cell assignment is permanent.
@@ -304,8 +330,27 @@ func (m *Medium) Radios() []*Radio { return m.radios }
 // TxDuration returns the serialization time for a payload of n bytes,
 // including modeled header overhead.
 func (m *Medium) TxDuration(n int) time.Duration {
-	bits := float64(n+m.cfg.HeaderBytes) * 8
-	return time.Duration(bits / m.cfg.DataRateBps * float64(time.Second))
+	return m.cfg.TxDuration(n)
+}
+
+// TxDuration returns the serialization time for a payload of n bytes under
+// this configuration (defaults applied), including header overhead.
+func (c Config) TxDuration(n int) time.Duration {
+	c = c.withDefaults()
+	bits := float64(n+c.HeaderBytes) * 8
+	return time.Duration(bits / c.DataRateBps * float64(time.Second))
+}
+
+// ConservativeLookahead returns the shortest interval between a
+// transmission starting and any of its receptions completing: the air time
+// of an empty payload plus propagation delay. It is the safe lockstep
+// window for space-partitioned execution (sim.ShardedKernel) — a handoff
+// sent when a broadcast starts always merges before any of its deliveries
+// are due, so cross-shard delivery timing is exact. Larger windows are
+// legal but relax timing; see docs/PERFORMANCE.md.
+func (c Config) ConservativeLookahead() time.Duration {
+	c = c.withDefaults()
+	return c.TxDuration(0) + c.PropagationDelay
 }
 
 // clockGen bumps the position-cache generation when the virtual clock has
@@ -344,13 +389,13 @@ func (m *Medium) syncGrid() {
 	gen := m.clockGen()
 	if len(m.unbounded) > 0 && m.unboundedGen != gen {
 		for _, r := range m.unbounded {
-			m.grid.Move(r.id, m.positionOf(r))
+			m.grid.Move(r.idx, m.positionOf(r))
 		}
 		m.unboundedGen = gen
 	}
 	if m.maxSpeed > 0 && m.maxSpeed*(m.posNow-m.lastSync).Seconds() > m.slack {
 		for _, r := range m.mobile {
-			m.grid.Move(r.id, m.positionOf(r))
+			m.grid.Move(r.idx, m.positionOf(r))
 		}
 		m.lastSync = m.posNow
 	}
@@ -377,14 +422,38 @@ func (m *Medium) candidatesInRange(sender *Radio) []*Radio {
 	m.syncGrid()
 	center := m.positionOf(sender)
 	m.candIDs = m.grid.QueryRange(center, m.cfg.Range+m.slack, m.candIDs[:0])
-	for _, id := range m.candIDs {
-		rx := m.radios[id]
+	for _, idx := range m.candIDs {
+		rx := m.radios[idx]
 		if rx == sender || !rx.enabled {
 			continue
 		}
 		// Same float expression as InRange, so the grid can never disagree
 		// with the scan on a boundary case.
 		if center.Distance(m.positionOf(rx)) <= m.cfg.Range {
+			m.cand = append(m.cand, rx)
+		}
+	}
+	return m.cand
+}
+
+// candidatesAround mirrors candidatesInRange for a transmission originating
+// outside this medium (a cross-shard handoff): every enabled local radio
+// within range of center, ascending slot order, same scratch ownership.
+func (m *Medium) candidatesAround(center geo.Point) []*Radio {
+	m.cand = m.cand[:0]
+	if m.grid == nil {
+		for _, rx := range m.radios {
+			if rx.enabled && center.Distance(m.positionOf(rx)) <= m.cfg.Range {
+				m.cand = append(m.cand, rx)
+			}
+		}
+		return m.cand
+	}
+	m.syncGrid()
+	m.candIDs = m.grid.QueryRange(center, m.cfg.Range+m.slack, m.candIDs[:0])
+	for _, idx := range m.candIDs {
+		rx := m.radios[idx]
+		if rx.enabled && center.Distance(m.positionOf(rx)) <= m.cfg.Range {
 			m.cand = append(m.cand, rx)
 		}
 	}
@@ -542,6 +611,56 @@ func (m *Medium) BroadcastNotify(r *Radio, payload []byte, notify func(collided 
 			}
 			m.freeRecList(receptions)
 			notify(collided)
+		})
+	}
+	if m.cross != nil {
+		// Offer the broadcast to sibling shards; each target's own grid
+		// decides which of its radios are in range, so the handoff needs no
+		// boundary geometry and stays correct under arbitrary mobility.
+		// Sender-side collision feedback (notify) observes local receivers
+		// only — a documented relaxation of the global-trace contract.
+		m.cross.handoff(m.shard, m.positionOf(r), r.id, payload, size, start, end)
+	}
+}
+
+// deliverForeign registers a transmission that originated on another shard
+// at every local radio in range of its sender position, mirroring the local
+// receiver half of BroadcastNotify: same overlap checks, same completion
+// scheduling. It runs on this medium's kernel when the handoff merges —
+// under the conservative lookahead that is always before any completion is
+// due, so delivery timing is exact; under a relaxed window, completions due
+// in the past fire at the merge barrier. The payload bytes are shared
+// read-only across shards (the wire-path immutability contract); the NDN
+// parse memo is NOT shared — each shard decodes once itself, because the
+// memo is written lazily and sibling shards run concurrently.
+func (m *Medium) deliverForeign(center geo.Point, fromID int, payload []byte, size int, start, end time.Duration) {
+	frame := Frame{From: fromID, Payload: payload, Size: size}
+	cands := m.candidatesAround(center)
+	if len(cands) > 0 && ndn.LooksLikePacket(payload) {
+		frame.pkt = ndn.NewPacket(payload)
+	}
+	for _, rx := range cands {
+		rec := m.newReception(start, end, false)
+		for _, other := range rx.inFlight {
+			if rec.start < other.end && other.start < rec.end {
+				rec.collided = true
+				other.collided = true
+			}
+		}
+		kept := rx.txWindows[:0]
+		for _, w := range rx.txWindows {
+			if w.end >= start {
+				kept = append(kept, w)
+				if rec.start < w.end && w.start < rec.end {
+					rec.collided = true
+				}
+			}
+		}
+		rx.txWindows = kept
+		rx.inFlight = append(rx.inFlight, rec)
+		rx := rx
+		m.kernel.ScheduleFuncAt(end, func() {
+			m.complete(rx, rec, frame)
 		})
 	}
 }

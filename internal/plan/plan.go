@@ -46,9 +46,11 @@ const cellSeedStride = 1_000_003
 // CellSeed derives grid cell c's base seed from the plan seed, exactly as
 // TrialSeed derives trial seeds from a scenario's base seed: every runner —
 // serial or parallel — must obtain cell seeds here so the schedule is a
-// pure function of (plan seed, cell index).
+// pure function of (plan seed, cell index). Like TrialSeed, the arithmetic
+// is defined as two's-complement wrap (computed in uint64), so a plan seed
+// near the int64 boundary derives the same cell seeds on every platform.
 func CellSeed(base int64, cell int) int64 {
-	return base + int64(cell)*cellSeedStride
+	return int64(uint64(base) + uint64(int64(cell))*cellSeedStride)
 }
 
 // Plan is one declarative sweep: a scenario, a grid, and the metrics the

@@ -45,6 +45,11 @@ type Snapshot struct {
 	Phy       []BenchPoint    `json:"phy"`
 	Kernel    []BenchPoint    `json:"kernel"`
 	Scenarios []ScenarioPoint `json:"scenarios"`
+	// Shard is the shard-scaling section (BENCH_6 onward): wall-clock of one
+	// dense trial on the sequential kernel versus the partitioned kernel at
+	// 2 and 4 stripes. Purely informational — trial times move with hardware
+	// and core count, so no threshold ever gates them.
+	Shard []BenchPoint `json:"shard,omitempty"`
 
 	// Path records where the snapshot was loaded from (not serialized).
 	Path string `json:"-"`
@@ -155,6 +160,10 @@ func trajectorySeries(snaps []Snapshot) []series {
 			add(key{"scenario", sc.Name, "allocs"}, pos, float64(sc.Allocs), plusHalf, "total allocs +50%")
 			add(key{"scenario", sc.Name, "download_s"}, pos, sc.DownloadTime90S, nil, "")
 			add(key{"scenario", sc.Name, "tx_p90"}, pos, sc.Transmissions90, nil, "")
+		}
+		// Shard scaling is wall-clock of a whole trial: informational only.
+		for _, b := range snap.Shard {
+			add(key{"bench", b.Name, "ns/op"}, pos, b.NsPerOp, nil, "")
 		}
 	}
 	return out

@@ -1,0 +1,26 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCellSeedWraps pins the documented two's-complement contract shared
+// with experiment.TrialSeed: a plan seed near the int64 boundary derives
+// wrapped — not platform-dependent — cell seeds. The expected value routes
+// through variables because Go rejects constant-folded overflow at compile
+// time.
+func TestCellSeedWraps(t *testing.T) {
+	t.Parallel()
+	base := int64(math.MaxInt64)
+	want := int64(uint64(base) + uint64(int64(2))*cellSeedStride)
+	if want >= 0 {
+		t.Fatalf("test setup: expected a wrapped (negative) seed, got %d", want)
+	}
+	if got := CellSeed(base, 2); got != want {
+		t.Fatalf("CellSeed(MaxInt64, 2) = %d, want %d", got, want)
+	}
+	if got := CellSeed(42, 2); got != 42+2*cellSeedStride {
+		t.Fatalf("CellSeed(42, 2) = %d, want %d (in-range derivation must be unchanged)", got, 42+2*cellSeedStride)
+	}
+}

@@ -1,0 +1,328 @@
+package sim
+
+// Space-partitioned parallel execution: a ShardedKernel composes S
+// per-shard Kernels (each with its own wheel, clock, and RNG stream) and
+// advances them in lockstep lookahead windows. Within a window the shards
+// share no mutable state — cross-shard effects are staged through SendFrom
+// into per-(from,to) handoff slices and merged at the window barrier in a
+// fixed order — so running the busy shards serially or on one goroutine
+// each produces byte-identical simulations. That serial==parallel identity
+// is the package's correctness gate for sharded execution (enforced by
+// TestShardedSerialMatchesParallel here and by the sharded golden-trace
+// suite in internal/experiment).
+//
+// The lookahead window is the classic conservative-PDES bound: if no
+// cross-shard effect can land earlier than `lookahead` after it is sent,
+// then every event inside the window [T, T+lookahead) — where T is the
+// global minimum next-event time — is safe to execute without hearing from
+// other shards. For the wireless medium the bound is the air time of the
+// smallest frame plus propagation delay (see phy.Config.ConservativeLookahead);
+// scenarios may opt into a larger window, trading bounded extra latency on
+// cross-shard deliveries for fewer barriers (the relaxation is documented
+// in docs/PERFORMANCE.md).
+//
+// Relaxed global-trace contract: a ShardedKernel with S>1 is NOT
+// byte-identical to a single Kernel running the same scenario — each shard
+// draws from its own seeded RNG stream, and event seq numbers are
+// per-shard. With S==1 the sharded kernel constructs exactly one inner
+// kernel seeded with the caller's seed and delegates Run/RunUntil to it
+// directly, so a 1-shard run IS byte-identical to the sequential kernel;
+// that is the executable bridge between the two contracts.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardSeedStride separates per-shard RNG streams. Like TrialSeed and
+// CellSeed, derivation is documented two's-complement wrap: the sum is
+// computed in uint64 and converted back, so a caller seed near the int64
+// boundary wraps deterministically instead of being implementation-defined.
+const shardSeedStride = 999_983
+
+// ShardSeed derives shard i's kernel seed from the trial seed.
+// ShardSeed(seed, 0) == seed, so a 1-shard kernel is seed-identical to
+// NewKernel(seed).
+func ShardSeed(seed int64, shard int) int64 {
+	return int64(uint64(seed) + uint64(shard)*shardSeedStride)
+}
+
+// defaultShardParallel selects whether ShardedKernel windows run the busy
+// shards on one goroutine each (true) or serially on the caller's
+// goroutine (false). Atomic for the same reason as SetDefaultQueue: the
+// equivalence suite flips it while parallel trial workers construct
+// kernels, and because serial and parallel windows are byte-identical a
+// concurrent flip changes no result.
+var defaultShardParallel atomic.Bool
+
+func init() { defaultShardParallel.Store(true) }
+
+// SetDefaultShardParallel sets whether kernels constructed by
+// NewShardedKernel execute windows in parallel, returning the previous
+// setting. The serial mode is the executable reference the parallel mode
+// must reproduce byte-for-byte.
+func SetDefaultShardParallel(on bool) bool {
+	return defaultShardParallel.Swap(on)
+}
+
+// handoff is one cross-shard effect staged for merge at the next barrier.
+type handoff struct {
+	at time.Duration
+	fn func()
+}
+
+// ShardedKernel runs S per-shard kernels in conservative lockstep windows
+// behind the same Run/RunUntil surface as Kernel. Construct with
+// NewShardedKernel; the zero value is not usable.
+type ShardedKernel struct {
+	shards    []*Kernel
+	lookahead time.Duration
+	parallel  bool
+	// out[from][to] stages handoffs sent by shard `from` to shard `to`
+	// during the current window. Shard goroutines write only their own
+	// `from` row, which is what makes window execution race-free without
+	// locks; the coordinator merges all rows at the barrier in (from, to)
+	// order so the merge itself is deterministic.
+	out  [][][]handoff
+	busy []int // scratch: indices of shards with events in the window
+}
+
+// NewShardedKernel returns a kernel of `shards` spatial shards advancing
+// in windows of `lookahead`. Shard i's RNG is seeded ShardSeed(seed, i).
+// shards < 1 is clamped to 1; lookahead < 1ns is clamped to 1ns (a window
+// always makes progress because it starts at the global minimum event
+// time and event times are whole nanoseconds).
+func NewShardedKernel(seed int64, shards int, lookahead time.Duration) *ShardedKernel {
+	if shards < 1 {
+		shards = 1
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	sk := &ShardedKernel{
+		shards:    make([]*Kernel, shards),
+		lookahead: lookahead,
+		parallel:  defaultShardParallel.Load(),
+		out:       make([][][]handoff, shards),
+		busy:      make([]int, 0, shards),
+	}
+	for i := range sk.shards {
+		sk.shards[i] = NewKernel(ShardSeed(seed, i))
+		sk.out[i] = make([][]handoff, shards)
+	}
+	return sk
+}
+
+// Shards returns the shard count.
+func (sk *ShardedKernel) Shards() int { return len(sk.shards) }
+
+// Shard returns shard i's kernel. Model code owned by shard i schedules on
+// (and draws randomness from) this kernel only; effects targeting another
+// shard go through SendFrom.
+func (sk *ShardedKernel) Shard(i int) *Kernel { return sk.shards[i] }
+
+// Lookahead returns the lockstep window length.
+func (sk *ShardedKernel) Lookahead() time.Duration { return sk.lookahead }
+
+// Now returns the latest shard clock. At window barriers every shard sits
+// on the same time, so between Run calls this is the global virtual clock.
+func (sk *ShardedKernel) Now() time.Duration {
+	var max time.Duration
+	for _, k := range sk.shards {
+		if k.now > max {
+			max = k.now
+		}
+	}
+	return max
+}
+
+// EventsFired returns the total events executed across all shards.
+func (sk *ShardedKernel) EventsFired() uint64 {
+	var n uint64
+	for _, k := range sk.shards {
+		n += k.fired
+	}
+	return n
+}
+
+// Pending returns the total live events queued across all shards (staged
+// handoffs not yet merged count too — they are committed deliveries).
+func (sk *ShardedKernel) Pending() int {
+	n := 0
+	for _, k := range sk.shards {
+		n += k.queue.len()
+	}
+	for from := range sk.out {
+		for to := range sk.out[from] {
+			n += len(sk.out[from][to])
+		}
+	}
+	return n
+}
+
+// SendFrom stages fn to run on shard `to` at virtual time at. It must be
+// called from code executing on shard `from` (each shard writes only its
+// own staging row). The handoff is merged into the target at the next
+// window barrier; an `at` already inside the target's past by then is
+// clamped to the barrier, which is exact under the conservative lookahead
+// and a bounded (≤ window) delay under a relaxed one.
+func (sk *ShardedKernel) SendFrom(from, to int, at time.Duration, fn func()) {
+	sk.out[from][to] = append(sk.out[from][to], handoff{at: at, fn: fn})
+}
+
+// flush merges every staged handoff into its target shard, in (from, to)
+// order, then clears the staging rows (keeping capacity). Must only run at
+// a barrier — no shard goroutine is inside a window.
+func (sk *ShardedKernel) flush() {
+	for from := range sk.out {
+		for to := range sk.out[from] {
+			hs := sk.out[from][to]
+			if len(hs) == 0 {
+				continue
+			}
+			k := sk.shards[to]
+			for i := range hs {
+				k.ScheduleFuncAt(hs[i].at, hs[i].fn)
+				hs[i] = handoff{} // release the closure
+			}
+			sk.out[from][to] = hs[:0]
+		}
+	}
+}
+
+// nextEventTime returns the global minimum next-event time across shards.
+func (sk *ShardedKernel) nextEventTime() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, k := range sk.shards {
+		if ev := k.queue.peek(); ev != nil && (!found || ev.at < min) {
+			min, found = ev.at, true
+		}
+	}
+	return min, found
+}
+
+// runShards executes one window [*, until) on every shard that has an
+// event inside it — serially in shard order, or one goroutine per busy
+// shard when parallel execution is on and at least two shards are busy.
+// The two modes are byte-identical because shards share no mutable state
+// within a window. Reports whether any shard stopped; like the parallel
+// mode (which cannot interrupt sibling goroutines), the serial mode still
+// finishes every busy shard's window after one stops.
+func (sk *ShardedKernel) runShards(until time.Duration) (stopped bool) {
+	busy := sk.busy[:0]
+	for i, k := range sk.shards {
+		if ev := k.queue.peek(); ev != nil && ev.at < until {
+			busy = append(busy, i)
+		}
+	}
+	sk.busy = busy
+	if !sk.parallel || len(busy) < 2 {
+		for _, i := range busy {
+			if !sk.shards[i].runWindow(until) {
+				stopped = true
+			}
+		}
+		return stopped
+	}
+	var wg sync.WaitGroup
+	var anyStopped atomic.Bool
+	for _, i := range busy {
+		wg.Add(1)
+		go func(k *Kernel) {
+			defer wg.Done()
+			if !k.runWindow(until) {
+				anyStopped.Store(true)
+			}
+		}(sk.shards[i])
+	}
+	wg.Wait()
+	return anyStopped.Load()
+}
+
+// windows drives the lockstep loop shared by Run and RunUntil: pick the
+// global minimum event time T, run every shard through [T, T+lookahead),
+// advance all clocks to the barrier, merge handoffs, and (when given)
+// evaluate cond. Returns condMet and stopped.
+//
+// Relaxation note: with S>1, cond is evaluated at window barriers rather
+// than after every event (a cross-shard condition cannot be observed
+// mid-window without a barrier anyway). With S==1 RunUntil delegates to
+// the inner kernel, which checks after every event.
+func (sk *ShardedKernel) windows(horizon time.Duration, cond func() bool) (condMet, stopped bool) {
+	for _, k := range sk.shards {
+		k.stopped = false
+	}
+	sk.flush() // handoffs staged before the run (or left by a stopped one)
+	if cond != nil && cond() {
+		return true, false
+	}
+	for {
+		t, ok := sk.nextEventTime()
+		if !ok {
+			break
+		}
+		if horizon > 0 && t > horizon {
+			break
+		}
+		until := t + sk.lookahead
+		if until <= t { // overflow guard for horizonless huge lookaheads
+			until = t + 1
+		}
+		if horizon > 0 && until > horizon {
+			// Shrink the final window to end just past the horizon so events
+			// at exactly the horizon still run (Run's contract is inclusive).
+			until = horizon + 1
+		}
+		if sk.runShards(until) {
+			return false, true
+		}
+		barrier := until
+		if horizon > 0 && barrier > horizon {
+			barrier = horizon
+		}
+		for _, k := range sk.shards {
+			k.advanceTo(barrier)
+		}
+		sk.flush()
+		if cond != nil && cond() {
+			return true, false
+		}
+	}
+	if horizon > 0 {
+		for _, k := range sk.shards {
+			k.advanceTo(horizon)
+		}
+	}
+	return false, false
+}
+
+// Run executes events across all shards until every queue drains, the
+// horizon is exceeded, or some shard calls Stop. Semantics mirror
+// Kernel.Run, including the stopped-clock contract. With one shard it
+// delegates to the inner kernel and is byte-identical to sequential
+// execution.
+func (sk *ShardedKernel) Run(horizon time.Duration) error {
+	if len(sk.shards) == 1 {
+		sk.flush()
+		return sk.shards[0].Run(horizon)
+	}
+	if _, stopped := sk.windows(horizon, nil); stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// RunUntil executes events while cond returns false, reporting whether it
+// was satisfied. With one shard it delegates to the inner kernel (cond
+// checked after every event); with more, cond is checked at each window
+// barrier — see the relaxation note on windows.
+func (sk *ShardedKernel) RunUntil(horizon time.Duration, cond func() bool) bool {
+	if len(sk.shards) == 1 {
+		sk.flush()
+		return sk.shards[0].RunUntil(horizon, cond)
+	}
+	met, _ := sk.windows(horizon, cond)
+	return met
+}

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRunStoppedClockStaysAtStopPoint is the stopped-clock regression test:
+// the seed kernel advanced k.now to the horizon after the event loop exited
+// even when Stop fired during the final queued event, so an aborted run
+// reported a time the simulation never reached. Both the "Stop mid-queue"
+// and the "Stop from the last event" shapes must pin the clock.
+func TestRunStoppedClockStaysAtStopPoint(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		// Stop fired by the LAST queued event: the loop drains, which is the
+		// path that used to warp the clock to the horizon.
+		k := NewKernelWithQueue(1, q.kind)
+		k.Schedule(time.Second, func() { k.Stop() })
+		if err := k.Run(time.Hour); err != ErrStopped {
+			t.Fatalf("%s: run = %v, want ErrStopped", q.name, err)
+		}
+		if k.Now() != time.Second {
+			t.Fatalf("%s: now = %v after Stop from last event, want 1s (not the horizon)", q.name, k.Now())
+		}
+
+		// Stop fired mid-queue with a horizon: same contract.
+		k = NewKernelWithQueue(1, q.kind)
+		k.Schedule(time.Second, func() { k.Stop() })
+		k.Schedule(2*time.Second, func() {})
+		if err := k.Run(time.Hour); err != ErrStopped {
+			t.Fatalf("%s: run = %v, want ErrStopped", q.name, err)
+		}
+		if k.Now() != time.Second {
+			t.Fatalf("%s: now = %v after mid-queue Stop, want 1s", q.name, k.Now())
+		}
+	}
+}
+
+// TestRunUntilHonorsStop pins the same contract for RunUntil, which used to
+// ignore Stop entirely: the loop must exit unsatisfied at the stop point
+// instead of draining the queue and warping to the horizon.
+func TestRunUntilHonorsStop(t *testing.T) {
+	t.Parallel()
+	for _, q := range queueKinds {
+		k := NewKernelWithQueue(1, q.kind)
+		ran := 0
+		k.Schedule(time.Second, func() { ran++; k.Stop() })
+		k.Schedule(2*time.Second, func() { ran++ })
+		ok := k.RunUntil(time.Hour, func() bool { return false })
+		if ok {
+			t.Fatalf("%s: RunUntil reported cond satisfied after Stop", q.name)
+		}
+		if ran != 1 {
+			t.Fatalf("%s: ran = %d events after Stop, want 1", q.name, ran)
+		}
+		if k.Now() != time.Second {
+			t.Fatalf("%s: now = %v after Stop, want 1s", q.name, k.Now())
+		}
+	}
+}
+
+// TestShardSeedContract pins ShardSeed: shard 0 is seed-identical to the
+// caller's seed (the 1-shard == sequential bridge) and the derivation wraps
+// two's-complement at the int64 boundary instead of being seed-dependent UB.
+func TestShardSeedContract(t *testing.T) {
+	t.Parallel()
+	if got := ShardSeed(42, 0); got != 42 {
+		t.Fatalf("ShardSeed(42, 0) = %d, want 42", got)
+	}
+	if a, b := ShardSeed(42, 1), ShardSeed(42, 2); a == b || a == 42 {
+		t.Fatalf("shard seeds not distinct: %d %d", a, b)
+	}
+	// Documented wrap: computed in uint64 and converted back.
+	base := int64(math.MaxInt64)
+	want := int64(uint64(base) + uint64(3*shardSeedStride))
+	if got := ShardSeed(base, 3); got != want {
+		t.Fatalf("ShardSeed at int64 boundary = %d, want wrapped %d", got, want)
+	}
+}
+
+// TestShardedSingleShardMatchesKernel pins the executable bridge between
+// the sharded and sequential contracts: a 1-shard ShardedKernel delegates
+// to one inner kernel seeded with the caller's seed, so the same workload
+// produces a byte-identical trace on both.
+func TestShardedSingleShardMatchesKernel(t *testing.T) {
+	t.Parallel()
+	type rec struct {
+		id int
+		at time.Duration
+	}
+	load := func(k *Kernel) *[]rec {
+		trace := &[]rec{}
+		for i := 0; i < 50; i++ {
+			id := i
+			k.Schedule(k.Jitter(time.Second), func() {
+				*trace = append(*trace, rec{id, k.Now()})
+				if id%3 == 0 {
+					k.ScheduleFunc(k.Jitter(100*time.Millisecond), func() {
+						*trace = append(*trace, rec{1000 + id, k.Now()})
+					})
+				}
+			})
+		}
+		return trace
+	}
+
+	plain := NewKernel(77)
+	wantTrace := load(plain)
+	if err := plain.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	sk := NewShardedKernel(77, 1, 25*time.Microsecond)
+	gotTrace := load(sk.Shard(0))
+	if err := sk.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(*wantTrace) == 0 {
+		t.Fatal("workload fired no events; test is vacuous")
+	}
+	if len(*gotTrace) != len(*wantTrace) {
+		t.Fatalf("trace lengths diverged: sharded %d, plain %d", len(*gotTrace), len(*wantTrace))
+	}
+	for i := range *wantTrace {
+		if (*gotTrace)[i] != (*wantTrace)[i] {
+			t.Fatalf("trace diverged at %d: sharded %+v, plain %+v", i, (*gotTrace)[i], (*wantTrace)[i])
+		}
+	}
+	if sk.Now() != plain.Now() {
+		t.Fatalf("clocks diverged: sharded %v, plain %v", sk.Now(), plain.Now())
+	}
+}
+
+// shardedChurn drives a randomized multi-shard workload — local schedules,
+// per-shard RNG draws, conservative and relaxed cross-shard handoffs,
+// horizon-bounded runs — and returns the per-shard traces. It is the shared
+// body of the serial==parallel equivalence test and the CI -race churn step
+// (cross-shard state is only ever touched through SendFrom staging, so the
+// race detector proves windows really share nothing).
+func shardedChurn(t *testing.T, shards int, parallel bool) [][]int64 {
+	t.Helper()
+	prev := SetDefaultShardParallel(parallel)
+	defer SetDefaultShardParallel(prev)
+
+	const lookahead = 50 * time.Microsecond
+	sk := NewShardedKernel(9001, shards, lookahead)
+	traces := make([][]int64, shards)
+
+	// Each shard runs a self-sustaining chain that records (id, now) into its
+	// own trace, draws jitter from its own kernel, and hands off to the next
+	// shard — sometimes a full lookahead ahead (conservative: exact timing),
+	// sometimes nearly immediately (relaxed: clamped to the barrier).
+	var arm func(shard, depth, id int)
+	arm = func(shard, depth, id int) {
+		k := sk.Shard(shard)
+		k.ScheduleFunc(k.Jitter(30*time.Microsecond), func() {
+			traces[shard] = append(traces[shard], int64(id)<<32|int64(k.Now()))
+			if depth == 0 {
+				return
+			}
+			next := (shard + 1) % shards
+			at := k.Now() + lookahead
+			if id%3 == 0 {
+				at = k.Now() + 1 // relaxed: lands inside the window, clamps at merge
+			}
+			sk.SendFrom(shard, next, at, func() { arm(next, depth-1, id+100) })
+			arm(shard, depth-1, id+1)
+		})
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 8*shards; i++ {
+		arm(rng.Intn(shards), 6, i*10_000)
+	}
+	// Horizon-bounded stretches interleaved with open-ended drains, like the
+	// collect loops in internal/experiment.
+	if err := sk.Run(200 * time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if !sk.RunUntil(800*time.Microsecond, func() bool { return false }) {
+		// cond never satisfied; the call just drains the stretch
+	}
+	if err := sk.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return traces
+}
+
+// TestShardedSerialMatchesParallel is the sharded-execution equivalence
+// gate at the kernel level: the same churn run with windows executed
+// serially and with one goroutine per busy shard must produce byte-identical
+// per-shard traces. Under -race this doubles as the data-race proof for the
+// staging rows.
+func TestShardedSerialMatchesParallel(t *testing.T) {
+	t.Parallel()
+	for _, shards := range []int{2, 3, 4, 7} {
+		serial := shardedChurn(t, shards, false)
+		par := shardedChurn(t, shards, true)
+		total := 0
+		for s := 0; s < shards; s++ {
+			if len(serial[s]) != len(par[s]) {
+				t.Fatalf("%d shards: shard %d trace lengths diverged: serial %d, parallel %d",
+					shards, s, len(serial[s]), len(par[s]))
+			}
+			for i := range serial[s] {
+				if serial[s][i] != par[s][i] {
+					t.Fatalf("%d shards: shard %d diverged at %d: serial %x, parallel %x",
+						shards, s, i, serial[s][i], par[s][i])
+				}
+			}
+			total += len(serial[s])
+		}
+		if total == 0 {
+			t.Fatalf("%d shards: churn fired no events; property is vacuous", shards)
+		}
+	}
+}
+
+// TestShardedHandoffTiming pins the two delivery regimes: a handoff sent a
+// full lookahead ahead fires at exactly its natural time (conservative), and
+// one sent into the already-executing window clamps to the merge barrier —
+// never earlier, never lost.
+func TestShardedHandoffTiming(t *testing.T) {
+	t.Parallel()
+	const lookahead = 100 * time.Microsecond
+	sk := NewShardedKernel(1, 2, lookahead)
+	var conservativeAt, relaxedAt time.Duration
+
+	sk.Shard(0).ScheduleFunc(10*time.Microsecond, func() {
+		now := sk.Shard(0).Now()
+		sk.SendFrom(0, 1, now+lookahead, func() { conservativeAt = sk.Shard(1).Now() })
+		sk.SendFrom(0, 1, now+time.Microsecond, func() { relaxedAt = sk.Shard(1).Now() })
+	})
+	// Shard 1 needs its own activity so it participates in windows.
+	sk.Shard(1).ScheduleFunc(5*time.Microsecond, func() {})
+
+	if err := sk.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if conservativeAt != 10*time.Microsecond+lookahead {
+		t.Fatalf("conservative handoff fired at %v, want exactly %v", conservativeAt, 10*time.Microsecond+lookahead)
+	}
+	// The relaxed handoff's natural time (11µs) is inside the window that was
+	// already executing when it was sent; it must clamp to the barrier.
+	if relaxedAt < 11*time.Microsecond || relaxedAt > 10*time.Microsecond+lookahead+time.Microsecond {
+		t.Fatalf("relaxed handoff fired at %v, want within (11µs, barrier]", relaxedAt)
+	}
+	if relaxedAt < conservativeAt-lookahead {
+		t.Fatalf("relaxed handoff fired impossibly early: %v", relaxedAt)
+	}
+}
+
+// TestShardedStopAndHorizon pins ShardedKernel's Run surface semantics:
+// horizon advance on clean completion, ErrStopped + stopped clock when a
+// shard stops, and RunUntil satisfaction at a window barrier.
+func TestShardedStopAndHorizon(t *testing.T) {
+	t.Parallel()
+
+	// Clean completion advances every shard to the horizon.
+	sk := NewShardedKernel(3, 3, 20*time.Microsecond)
+	sk.Shard(1).ScheduleFunc(time.Microsecond, func() {})
+	if err := sk.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sk.Shards(); i++ {
+		if got := sk.Shard(i).Now(); got != time.Second {
+			t.Fatalf("shard %d clock = %v after clean run, want 1s", i, got)
+		}
+	}
+
+	// Stop on any shard aborts the run without warping clocks.
+	sk = NewShardedKernel(3, 2, 20*time.Microsecond)
+	sk.Shard(1).ScheduleFunc(5*time.Microsecond, func() { sk.Shard(1).Stop() })
+	if err := sk.Run(time.Second); err != ErrStopped {
+		t.Fatalf("run = %v, want ErrStopped", err)
+	}
+	if got := sk.Shard(1).Now(); got != 5*time.Microsecond {
+		t.Fatalf("stopped shard clock = %v, want 5µs", got)
+	}
+
+	// RunUntil observes a cross-shard condition at a barrier.
+	sk = NewShardedKernel(3, 2, 20*time.Microsecond)
+	done := false
+	sk.Shard(0).ScheduleFunc(3*time.Microsecond, func() { done = true })
+	sk.Shard(1).ScheduleFunc(time.Hour, func() {})
+	if !sk.RunUntil(time.Hour, func() bool { return done }) {
+		t.Fatal("RunUntil did not observe the condition")
+	}
+	if sk.Now() >= time.Hour {
+		t.Fatalf("RunUntil drained to the far event; now = %v", sk.Now())
+	}
+
+	// Events at exactly the horizon run (Run's contract is inclusive).
+	sk = NewShardedKernel(3, 2, 20*time.Microsecond)
+	atHorizon := false
+	sk.Shard(0).ScheduleFunc(time.Second, func() { atHorizon = true })
+	if err := sk.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !atHorizon {
+		t.Fatal("event at exactly the horizon did not run")
+	}
+}

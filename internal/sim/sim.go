@@ -275,10 +275,17 @@ func (k *Kernel) Step() bool {
 
 // Run executes events until the queue drains, the horizon is exceeded, or
 // Stop is called. A zero horizon means no time limit. When a horizon is
-// given, the clock always advances to it (even if the queue drains earlier),
-// so successive Run calls model contiguous stretches of virtual time. It
-// returns nil when the queue drained or the horizon was reached, and
-// ErrStopped if Stop was called.
+// given and the run completes, the clock always advances to it (even if the
+// queue drains earlier), so successive Run calls model contiguous stretches
+// of virtual time. It returns nil when the queue drained or the horizon was
+// reached, and ErrStopped if Stop was called.
+//
+// Stopped-clock contract: when Stop fires mid-run the clock stays at the
+// time of the last executed event — it never jumps to the horizon, even if
+// the stopping event was also the last one queued. A caller that stops the
+// simulation observes Now() == the stop point, so state snapshots taken
+// after an aborted run carry the abort time, not a horizon the simulation
+// never reached.
 func (k *Kernel) Run(horizon time.Duration) error {
 	k.stopped = false
 	for k.queue.len() > 0 {
@@ -292,6 +299,11 @@ func (k *Kernel) Run(horizon time.Duration) error {
 		}
 		k.Step()
 	}
+	if k.stopped {
+		// The final event called Stop before the queue drained; honor the
+		// stopped-clock contract rather than warping to the horizon.
+		return ErrStopped
+	}
 	if horizon > k.now {
 		k.now = horizon
 	}
@@ -299,9 +311,12 @@ func (k *Kernel) Run(horizon time.Duration) error {
 }
 
 // RunUntil executes events while cond returns false, stopping as soon as it
-// returns true (checked after every event) or when the queue drains or the
-// horizon passes. It reports whether cond was satisfied.
+// returns true (checked after every event) or when the queue drains, the
+// horizon passes, or Stop is called. It reports whether cond was satisfied.
+// Like Run, a Stop mid-run leaves the clock at the last executed event (see
+// the stopped-clock contract on Run).
 func (k *Kernel) RunUntil(horizon time.Duration, cond func() bool) bool {
+	k.stopped = false
 	if cond() {
 		return true
 	}
@@ -315,11 +330,45 @@ func (k *Kernel) RunUntil(horizon time.Duration, cond func() bool) bool {
 		if cond() {
 			return true
 		}
+		if k.stopped {
+			return false
+		}
+	}
+	if k.stopped {
+		return false
 	}
 	if horizon > k.now {
 		k.now = horizon
 	}
 	return false
+}
+
+// runWindow executes every pending event with timestamp strictly before
+// until, leaving the clock at the last executed event. It is the building
+// block of sharded lockstep execution (see ShardedKernel): all events
+// inside [now, until) run, and the coordinator advances the clock to the
+// barrier afterwards via advanceTo so cross-shard handoffs merged at the
+// barrier can never be scheduled into the shard's past. Returns false if
+// Stop fired during the window (clock stays at the stop point per the
+// stopped-clock contract on Run).
+func (k *Kernel) runWindow(until time.Duration) bool {
+	for {
+		ev := k.queue.peek()
+		if ev == nil || ev.at >= until {
+			return true
+		}
+		k.Step()
+		if k.stopped {
+			return false
+		}
+	}
+}
+
+// advanceTo moves the clock forward to t; it never moves it backwards.
+func (k *Kernel) advanceTo(t time.Duration) {
+	if t > k.now {
+		k.now = t
+	}
 }
 
 // Jitter returns a uniformly random duration in [0, max). It returns 0 when
