@@ -1,14 +1,36 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-nfd bench-json bench-check golden examples plan plan-report
+.PHONY: all build vet lint fuzz-short test race bench bench-nfd bench-json bench-check golden examples plan plan-report
 
-all: vet build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The contract gate: go vet plus dapes-lint, the repo's own go/analysis-style
+# suite (internal/lint, docs/CONTRACTS.md). dapes-lint machine-checks the
+# four invariants every golden-trace gate depends on — kernel clock + seeded
+# RNG on simulation paths (simclock), no map-iteration order reaching
+# scheduling/wire/stats/sends or unsorted output slices (maporder), wire-frame
+# views stay read-only and encoded packets aren't mutated without
+# InvalidateWire (wireimmut), and no stored *sim.Event (handlehygiene).
+# Fails on any unsuppressed diagnostic; suppress only with
+# `//lint:ignore <analyzer> <reason>`.
+lint: vet
+	$(GO) run ./cmd/dapes-lint ./...
+
+# The corpus smoke: every Fuzz* target in the tree for ~10s each, so a codec
+# or parser regression against the seed corpus surfaces per-PR instead of
+# never. (go test allows one fuzz target per invocation, hence one line per
+# target.)
+fuzz-short:
+	$(GO) test -run=NONE -fuzz=FuzzTLVRoundTrip -fuzztime=10s ./internal/ndn/
+	$(GO) test -run=NONE -fuzz=FuzzPlanFile -fuzztime=10s ./internal/plan/
+	$(GO) test -run=NONE -fuzz=FuzzDiscoveryPayload -fuzztime=10s ./internal/core/
+	$(GO) test -run=NONE -fuzz=FuzzBitmapPayload -fuzztime=10s ./internal/core/
 
 test:
 	$(GO) test ./...

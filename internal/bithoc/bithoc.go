@@ -394,6 +394,7 @@ func (p *Peer) onReliable(src int, payload []byte) {
 		if p.have.Full() && !p.done {
 			p.done = true
 			p.doneAt = p.k.Now()
+			//lint:ignore maporder free-list refill on completion; recycled records are reset before reuse, so pool order never reaches the trace
 			for _, pt := range p.inflight {
 				pt.t.Stop()
 				p.piecePool = append(p.piecePool, pt)

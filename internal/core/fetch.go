@@ -344,6 +344,7 @@ func (p *Peer) storePacket(cs *collectionState, idx int, d *ndn.Data) {
 		cs.done = true
 		cs.doneAt = p.k.Now()
 		cs.fetching = false
+		//lint:ignore maporder free-list refill on completion; recycled records are reset before reuse, so pool order never reaches the trace
 		for _, it := range cs.inflight {
 			it.t.Stop()
 			it.cs = nil

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"dapes/internal/bitmap"
@@ -394,6 +395,10 @@ func (p *Peer) maybeSendDiscoveryReply() {
 	if len(offers) == 0 {
 		return
 	}
+	// The offer list is encoded into the reply payload: sort it so the wire
+	// bytes don't inherit map-iteration order when a peer publishes more
+	// than one collection.
+	sort.Slice(offers, func(i, j int) bool { return offers[i].Compare(offers[j]) < 0 })
 	now := p.k.Now()
 	if now-p.lastReplyAt < p.cfg.BeaconPeriodMin/2 && p.lastReplyAt != 0 {
 		return

@@ -350,6 +350,7 @@ func (p *Peer) onDatagram(src int, payload []byte) {
 		if p.have.Full() && !p.done {
 			p.done = true
 			p.doneAt = p.k.Now()
+			//lint:ignore maporder free-list refill on completion; recycled records are reset before reuse, so pool order never reaches the trace
 			for _, st := range p.pending {
 				st.t.Stop()
 				p.piecePool = append(p.piecePool, st)

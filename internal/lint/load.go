@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one entry from `go list`: enough metadata to parse a package
+// from source and to import its dependencies from compiler export data.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Graph is the load result for a set of patterns: the named target packages
+// plus export data for every transitive dependency, which is all a
+// types.Config needs to re-check any one package from source.
+//
+// The loader shells out to `go list -export -deps` instead of depending on
+// golang.org/x/tools/go/packages: the build cache already holds export data
+// for every dependency (the go command wrote it while compiling), and the
+// standard library's gc importer can read it, so the whole driver stays
+// inside the standard library.
+type Graph struct {
+	Fset    *token.FileSet
+	Targets []*Package // the packages the patterns named, in listing order
+
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// Load lists patterns (plus their full dependency closure) in dir and
+// returns a Graph ready to type-check any listed package. Extra patterns
+// beyond the caller's own packages (e.g. "time", "math/rand") may be passed
+// so fixture code can import packages the module itself does not.
+func Load(dir string, patterns ...string) (*Graph, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	g := &Graph{
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listErrs []string
+	for {
+		var p Package
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			listErrs = append(listErrs, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+			continue
+		}
+		if p.Export != "" {
+			g.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			pp := p
+			g.Targets = append(g.Targets, &pp)
+		}
+	}
+	if len(listErrs) > 0 {
+		return nil, fmt.Errorf("packages failed to load (fix the build before linting):\n  %s",
+			strings.Join(listErrs, "\n  "))
+	}
+	g.imp = importer.ForCompiler(g.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := g.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return g, nil
+}
+
+// Checked is one package parsed and type-checked from source.
+type Checked struct {
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Check parses the listed package's source files and type-checks them
+// against the graph's export data.
+func (g *Graph) Check(p *Package) (*Checked, error) {
+	if len(p.GoFiles) == 0 {
+		return nil, errors.New("no Go files")
+	}
+	paths := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		paths[i] = filepath.Join(p.Dir, f)
+	}
+	return g.CheckFiles(p.ImportPath, paths)
+}
+
+// CheckFiles parses the given source files as a single package with the
+// given import path and type-checks them against the graph's export data.
+// The path does not need to correspond to a real directory — the fixture
+// runner uses virtual paths to place testdata packages on (or off) the
+// simulation-path list.
+func (g *Graph) CheckFiles(importPath string, filenames []string) (*Checked, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(g.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: g.imp}
+	pkg, err := conf.Check(importPath, g.Fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Checked{Files: files, Pkg: pkg, Info: info}, nil
+}

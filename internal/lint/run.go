@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// RunDir loads the patterns in dir, runs the full analyzer suite over every
+// target package, and returns formatted diagnostics
+// ("path/file.go:line:col: message (analyzer)") with module-root-relative
+// paths. An empty slice means the tree is clean. This is the whole of
+// cmd/dapes-lint; it lives here so the test suite can pin "the tree is
+// clean" as a regular Go test.
+func RunDir(dir string, patterns ...string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	g, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	root := ModuleRoot(dir)
+	var out []string
+	for _, p := range g.Targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		checked, err := g.Check(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		diags, err := RunAnalyzers(g.Fset, checked.Files, checked.Pkg, checked.Info, Analyzers())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			pos := g.Fset.Position(d.Pos)
+			file := pos.Filename
+			if root != "" {
+				if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			out = append(out, fmt.Sprintf("%s:%d:%d: %s (%s)", file, pos.Line, pos.Column, d.Message, d.Analyzer))
+		}
+	}
+	return out, nil
+}
+
+// ModuleRoot returns the directory containing go.mod for dir, or "".
+func ModuleRoot(dir string) string {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		return ""
+	}
+	return filepath.Dir(gomod)
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simPathPackages are the packages whose code runs inside (or feeds) the
+// discrete-event simulation. Inside them, every timestamp must come from the
+// kernel clock and every random draw from the seeded per-trial (or
+// per-shard) *rand.Rand — a single wall-clock read or global-RNG call breaks
+// the golden-trace determinism contract that gates every optimization in
+// this repo (docs/CONTRACTS.md §1). Code outside these packages (cmd/ mains,
+// the metadata/keys/merkle toolchain, tests) may use real time freely.
+var simPathPackages = []string{
+	"dapes/internal/sim",
+	"dapes/internal/phy",
+	"dapes/internal/core",
+	"dapes/internal/nfd",
+	"dapes/internal/transport",
+	"dapes/internal/bithoc",
+	"dapes/internal/ekta",
+	"dapes/internal/dht",
+	"dapes/internal/routing",
+	"dapes/internal/multihop",
+	"dapes/internal/peba",
+	"dapes/internal/experiment",
+	"dapes/internal/plan",
+}
+
+// wallClockFuncs are the package time functions that read or wait on the
+// machine's clock. Pure conversions (time.Duration arithmetic, time.Unix)
+// stay legal — the contract bans the wall clock, not the time types.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that are NOT the
+// global RNG: constructors for an explicitly seeded generator. Everything
+// else at package level (rand.Int, rand.Intn, rand.Float64, rand.Perm,
+// rand.Shuffle, rand.Seed, ...) draws from the process-global source and is
+// banned on simulation paths.
+var seededRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *rand.Rand; the caller supplies the seed
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// SimClock flags wall-clock reads (time.Now, time.Since, time.Sleep, ...)
+// and global math/rand use (rand.Intn, rand.Float64, ...) inside
+// simulation-path packages.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc: "In simulation-path packages all time must come from the kernel clock " +
+		"and all randomness from the seeded per-trial/per-shard *rand.Rand. " +
+		"Wall-clock reads and the global math/rand source make trials " +
+		"non-reproducible and break the golden-trace gates.",
+	Run: runSimClock,
+}
+
+func runSimClock(pass *Pass) error {
+	if !onSimPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[base].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"wall clock on a simulation path: time.%s; use the kernel clock (sim.Kernel.Now / the layer's Clock) so trials replay byte-identically",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				if _, isFunc := obj.(*types.Func); isFunc && !seededRandFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand source on a simulation path: rand.%s; draw from the seeded per-trial *rand.Rand instead",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// onSimPath reports whether the import path is one of the simulation-path
+// packages or a subpackage of one.
+func onSimPath(path string) bool {
+	for _, p := range simPathPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

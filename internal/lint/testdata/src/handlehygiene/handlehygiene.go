@@ -1,0 +1,26 @@
+// Fixture for the handlehygiene analyzer: storing the kernel's recycled
+// *sim.Event records is flagged; holding generation-checked sim.Handle /
+// sim.Timer values is the supported shape.
+package fixture
+
+import "dapes/internal/sim"
+
+type node struct {
+	pending *sim.Event // want `struct field stores \*sim\.Event`
+	retry   sim.Handle // generation-checked: allowed
+	timeout sim.Timer  // generation-checked: allowed
+}
+
+type queue struct {
+	events []*sim.Event       // want `struct field stores \*sim\.Event`
+	byID   map[int]*sim.Event // want `struct field stores \*sim\.Event`
+}
+
+var inflight []*sim.Event // want `package variable inflight stores \*sim\.Event`
+
+var handles []sim.Handle // allowed
+
+type debugMirror struct {
+	//lint:ignore handlehygiene cleared synchronously before the kernel recycles the record
+	last *sim.Event
+}

@@ -1,0 +1,88 @@
+// Fixture for the maporder analyzer. The sink methods are defined in this
+// (virtual dapes/...) package, matching how the analyzer treats only
+// module-defined methods as order-sensitive sinks.
+package fixture
+
+import "sort"
+
+type face struct{ id int }
+
+func (f *face) Send(b []byte) {}
+
+type clock struct{}
+
+func (c *clock) Schedule(after int, fn func()) {}
+
+type table struct {
+	faces map[int]*face
+	clk   *clock
+}
+
+// broadcastUnsorted is the PR-3 bug shape: Data fan-out in map order.
+func (t *table) broadcastUnsorted(b []byte) {
+	for _, f := range t.faces { // want `map iteration order reaches Send \(sends a packet\)`
+		f.Send(b)
+	}
+}
+
+// scheduleUnsorted is the PR-2 bug shape: event creation in map order.
+func (t *table) scheduleUnsorted() {
+	for id := range t.faces { // want `map iteration order reaches Schedule \(schedules an event\)`
+		_ = id
+		t.clk.Schedule(1, func() {})
+	}
+}
+
+// idsUnsorted builds an output slice in map order and never sorts it —
+// deleting a collect-then-sort's sort call turns it into exactly this.
+func (t *table) idsUnsorted() []int {
+	var out []int
+	for id := range t.faces { // want `appends to "out", which is never sorted`
+		out = append(out, id)
+	}
+	return out
+}
+
+// idsSorted is the canonical fix: collect, sort, then use.
+func (t *table) idsSorted() []int {
+	out := make([]int, 0, len(t.faces))
+	for id := range t.faces {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// countFaces accumulates order-independently: no diagnostic.
+func (t *table) countFaces() int {
+	n := 0
+	for range t.faces {
+		n++
+	}
+	return n
+}
+
+// localScratch appends to a slice declared inside the loop body: its order
+// cannot leak, no diagnostic.
+func (t *table) localScratch() {
+	for id := range t.faces {
+		pair := []int{}
+		pair = append(pair, id, id)
+		_ = pair
+	}
+}
+
+// channelFanout leaks map order through a channel send.
+func (t *table) channelFanout(ch chan int) {
+	for id := range t.faces { // want `map iteration order reaches a channel send`
+		ch <- id
+	}
+}
+
+// suppressed shows the escape hatch for a genuinely order-independent body.
+func (t *table) suppressed(b []byte) {
+	//lint:ignore maporder diagnostic-only helper; receivers ignore duplicate delivery order
+	for _, f := range t.faces {
+		f.Send(b)
+	}
+}

@@ -1,0 +1,36 @@
+// Fixture for the simclock analyzer, type-checked as a virtual package ON
+// the simulation-path list. Every wall-clock read and global-RNG call must
+// be flagged; seeded RNG construction and pure time arithmetic must not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func violations(ch chan time.Time) {
+	_ = time.Now()               // want `wall clock on a simulation path: time\.Now`
+	time.Sleep(time.Millisecond) // want `wall clock on a simulation path: time\.Sleep`
+	_ = time.Since(time.Time{})  // want `wall clock on a simulation path: time\.Since`
+	_ = time.After(time.Second)  // want `wall clock on a simulation path: time\.After`
+	later := time.AfterFunc      // want `wall clock on a simulation path: time\.AfterFunc`
+	_ = later
+
+	_ = rand.Intn(10)    // want `global math/rand source on a simulation path: rand\.Intn`
+	_ = rand.Float64()   // want `global math/rand source on a simulation path: rand\.Float64`
+	rand.Shuffle(0, nil) // want `global math/rand source on a simulation path: rand\.Shuffle`
+}
+
+// legitimate shows the two allowed shapes: an explicitly seeded generator
+// and pure time-type arithmetic (no clock read).
+func legitimate(seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return time.Duration(rng.Intn(100)) * time.Millisecond
+}
+
+// suppressed shows the escape hatch: intentional wall-clock use with a
+// justified //lint:ignore on the line above.
+func suppressed() int64 {
+	//lint:ignore simclock demo-only seed; never reached from a registered scenario
+	return time.Now().UnixNano()
+}

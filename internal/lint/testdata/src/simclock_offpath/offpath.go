@@ -1,0 +1,17 @@
+// Fixture for the simclock analyzer, type-checked as a virtual package OFF
+// the simulation-path list (a cmd/ tool). The same calls that are
+// violations on a simulation path are legitimate here, so this fixture
+// carries no `// want` expectations: the test asserts zero diagnostics.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClockIsFineInTools() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = rand.Intn(10)
+	return time.Since(start)
+}
