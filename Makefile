@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint fuzz-short test race bench bench-nfd bench-json bench-check golden examples plan plan-report
+.PHONY: all build vet lint fuzz-short test race bench bench-nfd bench-json bench-check golden examples plan plan-report shard-smoke
 
 all: build lint test
 
@@ -51,21 +51,33 @@ bench-nfd:
 # Machine-readable perf snapshot: wire-path, dense-broadcast, and
 # event-kernel micro-benches (heap-vs-wheel churn, Timer.Reset), download
 # time and total allocations for the dense urban scenarios, and the
-# shard-scaling section (sequential vs 2 vs 4 stripes wall-clock), as
-# stable JSON. BENCH_6.json is the checked-in perf-trajectory entry for
-# the space-partitioned parallel kernel PR (BENCH_5.json the timer wheel's,
-# BENCH_4.json the zero-copy wire path's); regenerate it with this target
-# when a PR intentionally moves the numbers.
+# shard-scaling section (sequential vs 2 vs 4 stripes wall-clock plus the
+# 50k-node urban-metro trial), as stable JSON. BENCH_7.json is the
+# checked-in perf-trajectory entry for the persistent-worker/window-batching
+# PR (BENCH_6.json the space-partitioned kernel's, BENCH_5.json the timer
+# wheel's, BENCH_4.json the zero-copy wire path's); regenerate it with this
+# target when a PR intentionally moves the numbers.
+# The -rebase list marks gated metrics BENCH_7 moves on purpose: the
+# scheduler rework delivers cross-stripe frames to the radios in range at
+# frame start (required for the sender-side cull to be trace-neutral), so
+# S>=2 worlds carry more boundary traffic — and more allocations — under
+# the documented relaxed trace contract. The trajectory report resets
+# those baselines at BENCH_7 instead of flagging a regression; bench-check
+# still gates re-measures against the committed values.
 bench-json:
-	$(GO) run ./cmd/bench-snapshot -issue 6 -o BENCH_6.json
-	@cat BENCH_6.json
+	$(GO) run ./cmd/bench-snapshot -issue 7 \
+		-rebase 'urban-metro (allocs),shard/urban-dense-trial/shards=2 (allocs/op),shard/urban-dense-trial/shards=4 (allocs/op)' \
+		-rebase-note 'cross-stripe delivery evaluated at frame start (cull soundness); S>=2 boundary traffic grew under the relaxed trace contract' \
+		-o BENCH_7.json
+	@cat BENCH_7.json
 
 # The perf gate CI runs: re-measures and FAILS if the hardware-independent
 # alloc numbers (wire and kernel allocs/op exactly — Timer.Reset is pinned
-# at 0 — phy +2 slack, scenario totals +50%) regressed against the
-# committed BENCH_6.json. Times never gate — they move with hardware.
+# at 0 — phy +2 slack, scenario totals and shard-trial allocs/op +50%)
+# regressed against the committed BENCH_7.json. Times never gate — they
+# move with hardware.
 bench-check:
-	$(GO) run ./cmd/bench-snapshot -issue 6 -check BENCH_6.json
+	$(GO) run ./cmd/bench-snapshot -issue 7 -check BENCH_7.json
 
 # The plan smoke: run the committed CI plan file through the declarative
 # harness with a 4-worker fan-out. The JSON-lines stream and report are
@@ -74,6 +86,21 @@ bench-check:
 # CLI end of the contract stays runnable in seconds.
 plan:
 	$(GO) run ./cmd/dapes-plan run plans/ci-smoke.toml -workers=4
+
+# The shard-scaling smoke: the committed metro-smoke plan (urban-metro's
+# 25x mix at a tiny scale) once on the sequential-equivalent single stripe
+# and once at the scenario's default 4 density-balanced stripes. The
+# relaxed S>1 trace contract means times and transmission counts
+# legitimately differ between the runs; the aggregate completion
+# statistics must not — the target fails if the completed/downloaders
+# columns of the two JSON-lines streams diverge.
+shard-smoke:
+	$(GO) run ./cmd/dapes-plan run plans/metro-smoke.toml -shards=1 -o /dev/null > /tmp/dapes-shard-smoke-1.jsonl
+	$(GO) run ./cmd/dapes-plan run plans/metro-smoke.toml -shards=4 -o /dev/null > /tmp/dapes-shard-smoke-4.jsonl
+	@sed -E 's/.*("completed":[0-9]+,"downloaders":[0-9]+).*/\1/' /tmp/dapes-shard-smoke-1.jsonl > /tmp/dapes-shard-smoke-1.agg
+	@sed -E 's/.*("completed":[0-9]+,"downloaders":[0-9]+).*/\1/' /tmp/dapes-shard-smoke-4.jsonl > /tmp/dapes-shard-smoke-4.agg
+	@diff /tmp/dapes-shard-smoke-1.agg /tmp/dapes-shard-smoke-4.agg
+	@echo "shard-smoke: S=1 and S=4 completion aggregates agree"
 
 # The perf-trajectory report: load every committed BENCH_*.json snapshot,
 # render the per-metric series across PRs, and fail if any gated metric
@@ -85,12 +112,14 @@ plan-report:
 # The determinism gates: grid==naive, wheel==heap, and sharded==sequential
 # byte-identical for every registered scenario, baselines identical across
 # reruns, the kernel's randomized-churn equivalence properties (including
-# serial==parallel window execution for the sharded kernel), and the
-# forwarder's zero-alloc lookup contract.
+# serial==parallel window execution, the retired spawn scheduler vs the
+# persistent workers, and batched vs lockstep windowing for the sharded
+# kernel), trace-neutrality of the boundary-mask cull, and the forwarder's
+# zero-alloc lookup contract.
 golden:
-	$(GO) test -run 'TestGoldenTraceGridMatchesNaive|TestGoldenTraceWheelMatchesHeap|TestGoldenTraceShardedMatchesSequential|TestBaselineTrialsDeterministic|TestShardedTrialSerialMatchesParallel' -count=1 ./internal/experiment/
-	$(GO) test -run 'TestGridMatchesNaiveTrace|TestShardedMediumSingleShardMatchesMedium|TestShardedMediumSerialMatchesParallel' -count=1 ./internal/phy/
-	$(GO) test -run 'TestWheelMatchesHeapUnderChurn|TestCancelReclaimsQueueSpace|TestTimerResetDoesNotAllocate|TestShardedSingleShardMatchesKernel|TestShardedSerialMatchesParallel' -count=1 ./internal/sim/
+	$(GO) test -run 'TestGoldenTraceGridMatchesNaive|TestGoldenTraceWheelMatchesHeap|TestGoldenTraceShardedMatchesSequential|TestBaselineTrialsDeterministic|TestShardedTrialSerialMatchesParallel|TestShardedTrialBatchingMatchesLockstep' -count=1 ./internal/experiment/
+	$(GO) test -run 'TestGridMatchesNaiveTrace|TestShardedMediumSingleShardMatchesMedium|TestShardedMediumSerialMatchesParallel|TestShardedMediumCullingAndBatchingTraceNeutral' -count=1 ./internal/phy/
+	$(GO) test -run 'TestWheelMatchesHeapUnderChurn|TestCancelReclaimsQueueSpace|TestTimerResetDoesNotAllocate|TestShardedSingleShardMatchesKernel|TestShardedSerialMatchesParallel|TestShardedSpawnMatchesWorkers|TestWindowBatchingMatchesLockstep|TestShardedCloseLifecycle' -count=1 ./internal/sim/
 	$(GO) test -run 'TestLookupPathsDoNotAllocate' -count=1 ./internal/nfd/
 
 # The example binaries, built and executed end to end: each must exit 0

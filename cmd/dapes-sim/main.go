@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dapes/internal/core"
@@ -40,6 +42,9 @@ func run() error {
 		horizon   = flag.Duration("horizon", 45*time.Minute, "per-trial virtual time limit")
 		shards    = flag.Int("shards", 0, "space-partitioned kernel stripes per trial (0 = scenario default, 1 = sequential-equivalent)")
 
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
 		system      = flag.String("system", "dapes", "ad-hoc stack when -scenario is unset: dapes, bithoc, or ekta")
 		strategy    = flag.String("strategy", "local", "RPF strategy: local or encounter")
 		randomStart = flag.Bool("random-start", true, "start downloads at a random packet")
@@ -50,6 +55,34 @@ func run() error {
 		forwardProb = flag.Float64("forward-prob", 0.2, "probabilistic forwarding rate")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Written on the way out (error paths included) so a profile of the
+		// live heap always lands next to whatever the run produced.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dapes-sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dapes-sim: memprofile:", err)
+			}
+		}()
+	}
 
 	out, f, closeOut, err := experiment.OpenOutput(*outPath, *format)
 	if err != nil {

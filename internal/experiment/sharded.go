@@ -14,10 +14,11 @@ import (
 )
 
 // This file runs the Fig.-7 DAPES workload on the space-partitioned
-// parallel kernel: the area splits into vertical stripes (geo.ShardOf),
-// each stripe gets its own sim.Kernel and phy.Medium, and the stripes
-// advance in lockstep lookahead windows exchanging cross-boundary
-// broadcasts at window edges (sim.ShardedKernel + phy.ShardedMedium).
+// parallel kernel: the area splits into vertical stripes balanced on the
+// t=0 node-position CDF (geo.BalancedStripes), each stripe gets its own
+// sim.Kernel and phy.Medium, and the stripes advance in lookahead windows
+// — batched past provably quiet boundaries — exchanging cross-boundary
+// broadcasts at window barriers (sim.ShardedKernel + phy.ShardedMedium).
 //
 // The sequential kernel remains the executable reference, selectable the
 // same way phy.IndexNaive and sim.QueueHeap are: a one-shard run is
@@ -63,10 +64,9 @@ func resolveShards(s Scale) int {
 // same placement RNG stream, so a node's walk is identical whether the
 // world is sharded or not.
 type shardedWorld struct {
-	sk   *sim.ShardedKernel
-	sm   *phy.ShardedMedium
-	side float64
-	rng  float64 // wifi range doubles as the stripe cell size
+	sk      *sim.ShardedKernel
+	sm      *phy.ShardedMedium
+	stripes geo.Stripes
 
 	producerMobility   geo.Mobility
 	stationaryPos      []geo.Point
@@ -101,7 +101,7 @@ func buildShardedWorld(s Scale, wifiRange float64, trial int, shards int, lookah
 		})
 	}
 
-	w := &shardedWorld{sk: sk, sm: sm, side: side, rng: wifiRange}
+	w := &shardedWorld{sk: sk, sm: sm}
 	w.producerMobility = walk()
 	w.stationaryPos = []geo.Point{
 		{X: side / 4, Y: side / 4}, {X: 3 * side / 4, Y: side / 4},
@@ -116,15 +116,36 @@ func buildShardedWorld(s Scale, wifiRange float64, trial int, shards int, lookah
 	for i := 0; i < s.PureForwarders+s.Intermediates; i++ {
 		w.forwarderMobility = append(w.forwarderMobility, walk())
 	}
+
+	// Density-balanced stripe boundaries from the t=0 position CDF: every
+	// node's starting X, in attach order, feeds the quantile cuts, so each
+	// stripe begins with an equal share of the population instead of an
+	// equal share of the area — a hotspot stripe would otherwise gate every
+	// window for all its siblings. With one shard (or no positions) this is
+	// exactly the uniform ShardOf partition, preserving the sequential
+	// bridge byte for byte.
+	xs := make([]float64, 0, 1+len(w.stationaryPos)+len(w.downloaderMobility)+len(w.forwarderMobility))
+	xs = append(xs, w.producerMobility.PositionAt(0).X)
+	for _, p := range w.stationaryPos {
+		xs = append(xs, p.X)
+	}
+	for _, m := range w.downloaderMobility {
+		xs = append(xs, m.PositionAt(0).X)
+	}
+	for _, m := range w.forwarderMobility {
+		xs = append(xs, m.PositionAt(0).X)
+	}
+	w.stripes = geo.BalancedStripes(wifiRange, side, shards, xs)
 	return w
 }
 
-// home returns the shard owning a node that starts at p: the stripe of its
-// t=0 position. Ownership decides which kernel runs the node's events, not
-// who hears it — a walker that wanders across the stripe boundary keeps its
-// home and reaches its new neighbors through the cross-shard handoff path.
+// home returns the shard owning a node that starts at p: the
+// density-balanced stripe of its t=0 position. Ownership decides which
+// kernel runs the node's events, not who hears it — a walker that wanders
+// across the stripe boundary keeps its home and reaches its new neighbors
+// through the cross-shard handoff path.
 func (w *shardedWorld) home(p geo.Point) int {
-	return geo.ShardOf(p, w.rng, w.side, w.sk.Shards())
+	return w.stripes.Of(p)
 }
 
 // peer attaches a DAPES peer on the kernel and medium of its home stripe.
@@ -158,6 +179,7 @@ func (w *shardedWorld) peer(m geo.Mobility, cfg core.Config) *core.Peer {
 // TestShardedTrialSerialMatchesParallel gates.
 func RunShardedDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptions, shards int, lookahead time.Duration) (TrialResult, error) {
 	w := buildShardedWorld(s, wifiRange, trial, shards, lookahead)
+	defer w.sk.Close()
 	res, err := buildCollection(s, s.BaseSeed+int64(trial))
 	if err != nil {
 		return TrialResult{}, err

@@ -182,11 +182,14 @@ func TestTrialSeedWraps(t *testing.T) {
 	}
 }
 
-// BenchmarkShardedKernel measures the tentpole's payoff: one urban-grid-xl
-// density trial on the sequential reference versus the partitioned kernel
-// at 2 and 4 stripes (relaxed urban-metro lookahead, parallel windows). The
-// acceptance bar is >= 2x wall-clock at 4 shards; BENCH_6.json's
-// shard-scaling section records the measured numbers.
+// BenchmarkShardedKernel measures the partitioned kernel's payoff: one
+// urban-grid-xl density trial on the sequential reference versus the
+// sharded kernel at 2 and 4 stripes (relaxed urban-metro lookahead,
+// parallel windows). BENCH_7.json's shard-scaling section records the
+// measured numbers; the hardware-independent gate is allocs/op (+50%
+// relative slack), because wall-clock depends on the host's core count —
+// on a single-slot runner the adaptive scheduler runs every window inline
+// and sharding pays through partitioning, not goroutines.
 func BenchmarkShardedKernel(b *testing.B) {
 	dense := ReducedScale()
 	dense.Trials = 1
@@ -218,5 +221,79 @@ func BenchmarkShardedKernel(b *testing.B) {
 				}
 			}
 		})
+	}
+	// Serial window execution on the same 4-stripe partition: the floor the
+	// persistent-worker barrier must stay at or below for parallelism to be
+	// paying at all (the retired spawn scheduler lost to this row at xl
+	// scale; see docs/PERFORMANCE.md).
+	b.Run("shards-4-serial", func(b *testing.B) {
+		prev := sim.SetDefaultShardParallel(false)
+		defer sim.SetDefaultShardParallel(prev)
+		la := urbanMetroLookahead(phy.Config{Range: wifiRange, LossRate: dense.LossRate})
+		for i := 0; i < b.N; i++ {
+			if _, err := RunShardedDAPESTrial(dense, wifiRange, 0, opts, 4, la); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkShardedKernelMetro is the headline metro benchmark: the
+// urban-metro scenario at the exact [scale] of plans/urban-metro.toml —
+// 50,003 nodes on 4 density-balanced stripes, 10 s horizon — through the
+// registered scenario runner, the same measurement cmd/bench-snapshot
+// freezes as shard/urban-metro-trial in BENCH_7.json. The `make bench`
+// smoke runs it once per CI build so the 50k-node path cannot rot.
+func BenchmarkShardedKernelMetro(b *testing.B) {
+	metro := ReducedScale()
+	metro.Trials = 1
+	metro.NumFiles = 1
+	metro.PacketsPerFile = 4
+	metro.PacketSize = 200
+	metro.Horizon = 10 * time.Second
+	metro.Stationary = 2
+	metro.MobileDown = 8
+	metro.PureForwarders = 1912
+	metro.Intermediates = 80
+	metro.BaseSeed = 11
+	metro.Shards = 4
+	sc, ok := Lookup("urban-metro")
+	if !ok {
+		b.Fatal("urban-metro not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Run(metro, 60, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestShardedTrialBatchingMatchesLockstep pins window batching at the
+// experiment level under the conservative lookahead (where a staged
+// handoff always merges before any of its deliveries are due, so barrier
+// placement is unobservable): the full urban-metro trial must produce
+// identical metrics whether the kernel takes a barrier every window or
+// batches past mask-proven quiet boundaries. The phy- and sim-level gates
+// prove batching actually collapses barriers; this one proves a dense
+// end-to-end workload cannot tell the difference.
+func TestShardedTrialBatchingMatchesLockstep(t *testing.T) {
+	t.Parallel()
+	s := metroScale()
+	run := func(mode sim.WindowingMode) TrialResult {
+		prev := sim.SetDefaultShardWindowing(mode)
+		defer sim.SetDefaultShardWindowing(prev)
+		tr, err := RunShardedDAPESTrial(s, 60, 0, PaperDefaults(), 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	lock := run(sim.WindowLockstep)
+	batch := run(sim.WindowBatched)
+	if lock != batch {
+		t.Fatalf("batched windowing diverged from lockstep:\nlockstep: %+v\nbatched:  %+v", lock, batch)
+	}
+	if lock.Transmissions == 0 {
+		t.Fatal("trial put no frames on the air; property is vacuous")
 	}
 }

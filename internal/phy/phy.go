@@ -26,6 +26,7 @@ package phy
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -188,6 +189,13 @@ type Radio struct {
 	// grid index uses it to decide how long a cell assignment stays valid.
 	maxSpeed float64
 
+	// col is the radio's current x-column in the medium's boundary
+	// occupancy histogram (sharded compositions only; valid when hasCol).
+	// It moves in lockstep with the grid bucket, so the published column
+	// mask inherits the grid's drift bound.
+	col    int64
+	hasCol bool
+
 	// inFlight holds receptions that have not yet completed delivery.
 	inFlight []*reception
 	// txWindows are this radio's own recent transmission intervals;
@@ -265,6 +273,30 @@ type Medium struct {
 	shard  int
 	nextID *int
 	cross  crossShard
+
+	// Boundary occupancy (sharded grid-mode members only; colCount nil
+	// otherwise). colCount histograms the radios per x-column (columns one
+	// radio range wide, the same floor arithmetic as the grid via
+	// geo.CellIndex); pub is the immutable snapshot siblings read while
+	// windows execute. The owner mutates the histogram during its own
+	// window; the coordinator republishes at barriers (publishCols), so
+	// readers and the writer never overlap.
+	colCount  map[int64]int
+	colsDirty bool
+	pub       *colMask
+}
+
+// colMask is one medium's published stripe-occupancy snapshot: which
+// x-columns hold its radios, how fresh the underlying grid buckets were
+// (syncedAt), and how fast its radios can move. Immutable once published
+// except for syncedAt tightening at barriers (no shard worker is running
+// then). Readers bound a radio's true x at time t to its column widened by
+// maxSpeed·(t−syncedAt) — the same drift argument syncGrid uses.
+type colMask struct {
+	cols     []int64       // sorted occupied columns
+	syncedAt time.Duration // grid buckets exact at this virtual time
+	maxSpeed float64       // fastest mobile radio; +Inf disables all bounds
+	version  uint64        // bumped per republish; keys sibling gap caches
 }
 
 // crossShard is the hook a sharded composition (ShardedMedium) installs on
@@ -308,7 +340,9 @@ func (m *Medium) Attach(mobility geo.Mobility) *Radio {
 	}
 	m.radios = append(m.radios, r)
 	if m.grid != nil {
-		m.grid.Insert(r.idx, m.positionOf(r))
+		p := m.positionOf(r)
+		m.grid.Insert(r.idx, p)
+		m.trackCol(r, p)
 		switch {
 		case r.maxSpeed == 0:
 			// Never moves; its cell assignment is permanent.
@@ -389,16 +423,124 @@ func (m *Medium) syncGrid() {
 	gen := m.clockGen()
 	if len(m.unbounded) > 0 && m.unboundedGen != gen {
 		for _, r := range m.unbounded {
-			m.grid.Move(r.idx, m.positionOf(r))
+			p := m.positionOf(r)
+			m.grid.Move(r.idx, p)
+			m.trackCol(r, p)
 		}
 		m.unboundedGen = gen
 	}
 	if m.maxSpeed > 0 && m.maxSpeed*(m.posNow-m.lastSync).Seconds() > m.slack {
 		for _, r := range m.mobile {
-			m.grid.Move(r.idx, m.positionOf(r))
+			p := m.positionOf(r)
+			m.grid.Move(r.idx, p)
+			m.trackCol(r, p)
 		}
 		m.lastSync = m.posNow
 	}
+}
+
+// enableColTracking turns on the boundary occupancy histogram (sharded
+// grid-mode members only), seeding it from any radios already attached.
+// Under IndexNaive there is no grid — and no drift bookkeeping to inherit
+// — so tracking stays off and siblings simply never cull or batch, which
+// is behavior-neutral because culling and batching are trace-preserving
+// optimizations.
+func (m *Medium) enableColTracking() {
+	if m.grid == nil || m.colCount != nil {
+		return
+	}
+	m.colCount = make(map[int64]int)
+	for _, r := range m.radios {
+		m.trackCol(r, m.positionOf(r))
+	}
+}
+
+// trackCol moves r to the x-column of p in the occupancy histogram. Called
+// exactly where the grid re-buckets, so a column is stale only when the
+// bucket is, and the published mask can reuse the grid's drift bound.
+func (m *Medium) trackCol(r *Radio, p geo.Point) {
+	if m.colCount == nil {
+		return
+	}
+	c := geo.CellIndex(p.X, m.cfg.Range)
+	if r.hasCol {
+		if r.col == c {
+			return
+		}
+		if n := m.colCount[r.col] - 1; n > 0 {
+			m.colCount[r.col] = n
+		} else {
+			delete(m.colCount, r.col)
+		}
+	}
+	r.col, r.hasCol = c, true
+	m.colCount[c]++
+	m.colsDirty = true
+}
+
+// publishCols refreshes the published occupancy snapshot. Barrier-only
+// (the coordinator calls it from the ShardedMedium merge hook): no shard
+// worker is mid-window, so swapping — or tightening syncedAt on — the
+// snapshot cannot race with sibling readers, and the next window's reads
+// are ordered after it by the worker wake-up.
+func (m *Medium) publishCols() {
+	if m.colCount == nil {
+		return
+	}
+	if m.pub != nil && !m.colsDirty {
+		// Columns unchanged but the grid may have re-synced since the last
+		// publish; advancing syncedAt tightens every reader's drift bound.
+		m.pub.syncedAt = m.lastSync
+		return
+	}
+	cols := make([]int64, 0, len(m.colCount))
+	for c := range m.colCount {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+	ms := m.maxSpeed
+	if len(m.unbounded) > 0 {
+		ms = math.Inf(1)
+	}
+	var ver uint64 = 1
+	if m.pub != nil {
+		ver = m.pub.version + 1
+	}
+	m.pub = &colMask{cols: cols, syncedAt: m.lastSync, maxSpeed: ms, version: ver}
+	m.colsDirty = false
+}
+
+// maskExcludes reports whether, per this medium's published occupancy
+// mask, no radio of this medium can possibly lie within transmission range
+// of x-coordinate x at time at — the sender-side cull for cross-shard
+// handoffs. Conservative on every axis: columns are widened by the drift
+// bound since the mask's grid sync, extended one full extra column against
+// float boundary cases, and the y-axis is ignored (x-distance is a lower
+// bound on true distance). A false return promises nothing; a true return
+// guarantees candidatesAroundAt at time `at` would find no one, so
+// dropping the handoff is trace-neutral. Readers may run on sibling shard
+// workers mid-window: the snapshot is immutable until the next barrier.
+func (m *Medium) maskExcludes(x float64, at time.Duration) bool {
+	pub := m.pub
+	if pub == nil {
+		return false
+	}
+	if len(pub.cols) == 0 {
+		return true // no radios attached: nothing could ever hear
+	}
+	if math.IsInf(pub.maxSpeed, 1) {
+		return false // unbounded movers: the mask bounds nothing
+	}
+	drift := 0.0
+	if at > pub.syncedAt {
+		drift = pub.maxSpeed * (at - pub.syncedAt).Seconds()
+	}
+	reach := m.cfg.Range + drift
+	cell := m.cfg.Range // grid cell edge == range, by construction
+	lo := geo.CellIndex(x-reach, cell) - 1
+	hi := geo.CellIndex(x+reach, cell) + 1
+	i := sort.Search(len(pub.cols), func(i int) bool { return pub.cols[i] >= lo })
+	return i == len(pub.cols) || pub.cols[i] > hi
 }
 
 // candidatesInRange returns the enabled radios currently within range of
@@ -436,24 +578,49 @@ func (m *Medium) candidatesInRange(sender *Radio) []*Radio {
 	return m.cand
 }
 
-// candidatesAround mirrors candidatesInRange for a transmission originating
-// outside this medium (a cross-shard handoff): every enabled local radio
-// within range of center, ascending slot order, same scratch ownership.
-func (m *Medium) candidatesAround(center geo.Point) []*Radio {
+// candidatesAroundAt mirrors candidatesInRange for a transmission
+// originating outside this medium (a cross-shard handoff): every enabled
+// local radio within range of center at virtual time `at` — the
+// transmission start, which is at or before the merge barrier this runs
+// at — in ascending slot order, same scratch ownership. Evaluating
+// receiver positions at the transmission start (rather than at the merge
+// barrier, as before the batched scheduler) matches the local half of
+// BroadcastNotify, makes the candidate set independent of where the
+// barrier happens to fall, and is what the sender-side mask cull promises
+// to be a superset of. Positions at a past timestamp bypass the per-now
+// cache (mobility models are pure functions of time); the grid query is
+// widened by the extra drift a bucket may have accumulated since `at`.
+func (m *Medium) candidatesAroundAt(center geo.Point, at time.Duration) []*Radio {
 	m.cand = m.cand[:0]
 	if m.grid == nil {
 		for _, rx := range m.radios {
-			if rx.enabled && center.Distance(m.positionOf(rx)) <= m.cfg.Range {
+			if rx.enabled && center.Distance(rx.mobility.PositionAt(at)) <= m.cfg.Range {
 				m.cand = append(m.cand, rx)
 			}
 		}
 		return m.cand
 	}
 	m.syncGrid()
-	m.candIDs = m.grid.QueryRange(center, m.cfg.Range+m.slack, m.candIDs[:0])
+	if len(m.unbounded) > 0 {
+		// No finite bound relates a bucket at now to a position at `at`;
+		// fall back to the exact scan.
+		for _, rx := range m.radios {
+			if rx.enabled && center.Distance(rx.mobility.PositionAt(at)) <= m.cfg.Range {
+				m.cand = append(m.cand, rx)
+			}
+		}
+		return m.cand
+	}
+	// Buckets are within slack of positions at now; positions at `at` add
+	// at most maxSpeed·(now−at) more drift.
+	widen := m.slack
+	if m.posNow > at {
+		widen += m.maxSpeed * (m.posNow - at).Seconds()
+	}
+	m.candIDs = m.grid.QueryRange(center, m.cfg.Range+widen, m.candIDs[:0])
 	for _, idx := range m.candIDs {
 		rx := m.radios[idx]
-		if rx.enabled && center.Distance(m.positionOf(rx)) <= m.cfg.Range {
+		if rx.enabled && center.Distance(rx.mobility.PositionAt(at)) <= m.cfg.Range {
 			m.cand = append(m.cand, rx)
 		}
 	}
@@ -624,18 +791,19 @@ func (m *Medium) BroadcastNotify(r *Radio, payload []byte, notify func(collided 
 }
 
 // deliverForeign registers a transmission that originated on another shard
-// at every local radio in range of its sender position, mirroring the local
-// receiver half of BroadcastNotify: same overlap checks, same completion
-// scheduling. It runs on this medium's kernel when the handoff merges —
-// under the conservative lookahead that is always before any completion is
-// due, so delivery timing is exact; under a relaxed window, completions due
-// in the past fire at the merge barrier. The payload bytes are shared
-// read-only across shards (the wire-path immutability contract); the NDN
-// parse memo is NOT shared — each shard decodes once itself, because the
-// memo is written lazily and sibling shards run concurrently.
+// at every local radio in range of its sender position at the transmission
+// start, mirroring the local receiver half of BroadcastNotify: same
+// in-range rule, same overlap checks, same completion scheduling. It runs
+// on this medium's kernel at the merge barrier — under the conservative
+// lookahead that is always before any completion is due, so delivery
+// timing is exact; under a relaxed window, completions due in the past
+// fire at the merge barrier. The payload bytes are shared read-only across
+// shards (the wire-path immutability contract); the NDN parse memo is NOT
+// shared — each shard decodes once itself, because the memo is written
+// lazily and sibling shards run concurrently.
 func (m *Medium) deliverForeign(center geo.Point, fromID int, payload []byte, size int, start, end time.Duration) {
 	frame := Frame{From: fromID, Payload: payload, Size: size}
-	cands := m.candidatesAround(center)
+	cands := m.candidatesAroundAt(center, start)
 	if len(cands) > 0 && ndn.LooksLikePacket(payload) {
 		frame.pkt = ndn.NewPacket(payload)
 	}

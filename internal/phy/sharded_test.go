@@ -142,6 +142,7 @@ func shardedMediumChurn(t *testing.T, shards int, parallel bool) [][]string {
 	cfg := Config{Range: 60, LossRate: 0.1}
 	const width = 400.0
 	sk := sim.NewShardedKernel(23, shards, cfg.ConservativeLookahead())
+	defer sk.Close()
 	sm := NewShardedMedium(sk, cfg)
 	traces := make([][]string, shards)
 
@@ -206,6 +207,145 @@ func TestShardedMediumSerialMatchesParallel(t *testing.T) {
 		}
 		if total == 0 {
 			t.Fatalf("%d shards: churn delivered nothing; property is vacuous", shards)
+		}
+	}
+}
+
+// cullWorkload runs a wide-world broadcast workload under the given
+// windowing mode and cull setting, returning the per-shard delivery
+// traces, the number of window barriers, and how many handoffs the mask
+// cull dropped. Two shapes: the default spreads radios everywhere and adds
+// straddling pairs at every stripe boundary (real cross-shard traffic the
+// cull must never touch — but contact is always possible, so windows never
+// extend); clustered packs each stripe's population around its center with
+// one bounded walker, so the masks prove long quiet gaps and the oracle
+// must collapse barriers.
+func cullWorkload(t *testing.T, mode sim.WindowingMode, noCull, clustered bool) ([][]string, uint64, uint64) {
+	t.Helper()
+	prev := sim.SetDefaultShardWindowing(mode)
+	defer sim.SetDefaultShardWindowing(prev)
+
+	cfg := Config{Range: 60, LossRate: 0.1}
+	const width, shards = 3000.0, 4
+	sk := sim.NewShardedKernel(41, shards, cfg.ConservativeLookahead())
+	defer sk.Close()
+	sm := NewShardedMedium(sk, cfg)
+	sm.noCull = noCull
+	traces := make([][]string, shards)
+
+	rng := rand.New(rand.NewSource(29))
+	area := geo.Rect{Width: width, Height: 300}
+	attach := func(i int, start geo.Point, mob geo.Mobility) {
+		home := geo.ShardOf(start, cfg.Range, width, shards)
+		m := sm.Medium(home)
+		r := m.Attach(mob)
+		r.SetHandler(func(f Frame) {
+			traces[home] = append(traces[home], fmt.Sprintf("%v %d->%d", m.kernel.Now(), f.From, r.ID()))
+		})
+		k := sk.Shard(home)
+		var beat func()
+		beat = func() {
+			m.Broadcast(r, []byte{byte(i), 1, 2})
+			if k.Now() < 400*time.Millisecond {
+				k.ScheduleFunc(25*time.Millisecond+k.Jitter(5*time.Millisecond), beat)
+			}
+		}
+		k.ScheduleFunc(k.Jitter(15*time.Millisecond), beat)
+	}
+	i := 0
+	if clustered {
+		// Tight per-stripe clusters around each stripe center, hundreds of
+		// meters from any boundary; one walker bounded inside stripe 0's
+		// left edge keeps a nonzero closing speed in the oracle math.
+		for s := 0; s < 4; s++ {
+			cx := (float64(s) + 0.5) * width / 4
+			for j := 0; j < 8; j++ {
+				start := geo.Point{X: cx + (rng.Float64()-0.5)*120, Y: rng.Float64() * 300}
+				attach(i, start, geo.Stationary{At: start})
+				i++
+			}
+		}
+		walkStart := geo.Point{X: 200, Y: 150}
+		attach(i, walkStart, geo.NewRandomDirection(geo.RandomDirectionConfig{
+			Area: geo.Rect{Width: 400, Height: 300}, Start: walkStart,
+			MinSpeed: 5, MaxSpeed: 30,
+			RNG: rand.New(rand.NewSource(501)),
+		}))
+	} else {
+		for ; i < 32; i++ {
+			start := geo.Point{X: rng.Float64() * width, Y: rng.Float64() * 300}
+			var mob geo.Mobility = geo.Stationary{At: start}
+			if i%4 == 0 {
+				mob = geo.NewRandomDirection(geo.RandomDirectionConfig{
+					Area: area, Start: start, MinSpeed: 5, MaxSpeed: 30,
+					RNG: rand.New(rand.NewSource(int64(500 + i))),
+				})
+			}
+			attach(i, start, mob)
+		}
+		// Straddling pairs at each interior stripe boundary (x = 750, 1500,
+		// 2250): genuine cross-shard deliveries the cull must never touch.
+		for _, bx := range []float64{width / 4, width / 2, 3 * width / 4} {
+			attach(i, geo.Point{X: bx - 20, Y: 150}, geo.Stationary{At: geo.Point{X: bx - 20, Y: 150}})
+			i++
+			attach(i, geo.Point{X: bx + 20, Y: 150}, geo.Stationary{At: geo.Point{X: bx + 20, Y: 150}})
+			i++
+		}
+	}
+	if err := sk.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return traces, sk.Windows(), sm.culledTotal()
+}
+
+// TestShardedMediumCullingAndBatchingTraceNeutral is the phy half of the
+// batching golden gate, run against the real occupancy-mask oracle rather
+// than a hand-written one: mask culling on, culling off, and full lockstep
+// windowing must all produce byte-identical delivery traces — while the
+// cull demonstrably drops handoffs (straddled scenario, where boundary
+// pairs force real cross-shard deliveries) and batching demonstrably
+// collapses barriers (clustered scenario, where the masks prove the
+// stripes cannot touch). This is what makes "culled handoff ≡ staged
+// handoff with zero candidates" and "extended windows carry no cross-shard
+// traffic" executable claims.
+func TestShardedMediumCullingAndBatchingTraceNeutral(t *testing.T) {
+	t.Parallel()
+	for _, clustered := range []bool{false, true} {
+		name := "straddled"
+		if clustered {
+			name = "clustered"
+		}
+		base, baseWin, culled := cullWorkload(t, sim.WindowBatched, false, clustered)
+		noCull, _, zero := cullWorkload(t, sim.WindowBatched, true, clustered)
+		lock, lockWin, _ := cullWorkload(t, sim.WindowLockstep, false, clustered)
+
+		total := 0
+		for s := range base {
+			for variant, other := range map[string][][]string{"noCull": noCull, "lockstep": lock} {
+				if len(base[s]) != len(other[s]) {
+					t.Fatalf("%s: shard %d trace lengths diverged: culled+batched %d, %s %d",
+						name, s, len(base[s]), variant, len(other[s]))
+				}
+				for i := range base[s] {
+					if base[s][i] != other[s][i] {
+						t.Fatalf("%s: shard %d diverged at %d:\n culled+batched %s\n %s %s",
+							name, s, i, base[s][i], variant, other[s][i])
+					}
+				}
+			}
+			total += len(base[s])
+		}
+		if total == 0 {
+			t.Fatalf("%s: workload delivered nothing; gates are vacuous", name)
+		}
+		if culled == 0 {
+			t.Fatalf("%s: mask cull dropped no handoffs; neutrality gate is vacuous", name)
+		}
+		if zero != 0 {
+			t.Fatalf("%s: noCull run still culled %d handoffs", name, zero)
+		}
+		if clustered && baseWin*2 >= lockWin {
+			t.Fatalf("batching collapsed no barriers: lockstep %d windows, batched %d", lockWin, baseWin)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"dapes/internal/experiment"
 )
@@ -15,8 +16,8 @@ import (
 // breaches, rendered through the shared emit layer. The thresholds mirror
 // the bench-check CI gate exactly: wire and kernel allocs/op may not grow
 // at all, the phy broadcast bench gets +2 of slack, a scenario's total
-// allocation count may drift up to +50%, and times never gate (they move
-// with hardware).
+// allocation count and a shard trial's allocs/op may drift up to +50%,
+// and times never gate (they move with hardware).
 
 // BenchPoint mirrors one bench entry of a BENCH_*.json snapshot.
 type BenchPoint struct {
@@ -45,11 +46,23 @@ type Snapshot struct {
 	Phy       []BenchPoint    `json:"phy"`
 	Kernel    []BenchPoint    `json:"kernel"`
 	Scenarios []ScenarioPoint `json:"scenarios"`
-	// Shard is the shard-scaling section (BENCH_6 onward): wall-clock of one
-	// dense trial on the sequential kernel versus the partitioned kernel at
-	// 2 and 4 stripes. Purely informational — trial times move with hardware
-	// and core count, so no threshold ever gates them.
+	// Shard is the shard-scaling section (BENCH_6 onward): one dense trial
+	// on the sequential kernel versus the partitioned kernel at 2 and 4
+	// stripes, plus (BENCH_7 onward) the 50k-node urban-metro trial. Trial
+	// times move with hardware and core count and never gate; whole-trial
+	// allocs/op gate at a relative +50%, like the dense scenarios.
 	Shard []BenchPoint `json:"shard,omitempty"`
+
+	// Rebaselined lists gated metrics — in the report's display form,
+	// "<name> (<unit>)" — whose values this snapshot moved on purpose: a PR
+	// changed simulation behavior under a documented contract relaxation,
+	// so the delta from the previous snapshot is a baseline reset, not a
+	// regression. The trajectory gate skips the incoming comparison for
+	// these metrics and resumes gating from this snapshot's value onward.
+	// RebaselineNote says why; both are stamped by `bench-snapshot -rebase`
+	// (see the Makefile's bench-json target for the current list).
+	Rebaselined    []string `json:"rebaselined,omitempty"`
+	RebaselineNote string   `json:"rebaseline_note,omitempty"`
 
 	// Path records where the snapshot was loaded from (not serialized).
 	Path string `json:"-"`
@@ -161,8 +174,11 @@ func trajectorySeries(snaps []Snapshot) []series {
 			add(key{"scenario", sc.Name, "download_s"}, pos, sc.DownloadTime90S, nil, "")
 			add(key{"scenario", sc.Name, "tx_p90"}, pos, sc.Transmissions90, nil, "")
 		}
-		// Shard scaling is wall-clock of a whole trial: informational only.
+		// Shard scaling: trial wall-clock is informational (it moves with
+		// hardware and cores); whole-trial allocs/op gate relatively, like
+		// the dense scenarios, mirroring bench-snapshot's -check rule.
 		for _, b := range snap.Shard {
+			add(key{"bench", b.Name, "allocs/op"}, pos, float64(b.AllocsPerOp), plusHalf, "allocs/op +50%")
 			add(key{"bench", b.Name, "ns/op"}, pos, b.NsPerOp, nil, "")
 		}
 	}
@@ -170,8 +186,20 @@ func trajectorySeries(snaps []Snapshot) []series {
 }
 
 // breaches applies each gated series' rule between consecutive present
-// points.
+// points. A point whose snapshot rebaselined the metric skips its incoming
+// comparison (the intentional move) but still becomes the baseline for the
+// next point — gating resumes immediately after the reset.
 func breaches(snaps []Snapshot, all []series) []Breach {
+	rebased := make([]map[string]bool, len(snaps))
+	for i, snap := range snaps {
+		if len(snap.Rebaselined) == 0 {
+			continue
+		}
+		rebased[i] = make(map[string]bool, len(snap.Rebaselined))
+		for _, m := range snap.Rebaselined {
+			rebased[i][m] = true
+		}
+	}
 	var out []Breach
 	for _, s := range all {
 		if s.gate == nil {
@@ -182,7 +210,7 @@ func breaches(snaps []Snapshot, all []series) []Breach {
 			if !s.ok[i] {
 				continue
 			}
-			if last >= 0 {
+			if last >= 0 && !rebased[i][s.metric+" ("+s.unit+")"] {
 				limit := s.gate(s.vals[last])
 				if s.vals[i] > limit {
 					out = append(out, Breach{
@@ -217,6 +245,20 @@ func TrajectoryReport(snaps []Snapshot) ([]experiment.Table, []Breach, error) {
 	for _, b := range brs {
 		breached[b.Metric] = true
 	}
+	rebased := make(map[string]bool)
+	var rebaseNotes []string
+	for _, s := range snaps {
+		for _, m := range s.Rebaselined {
+			rebased[m] = true
+		}
+		if len(s.Rebaselined) > 0 {
+			note := fmt.Sprintf("rebaselined at BENCH_%d: %s", s.Issue, strings.Join(s.Rebaselined, ", "))
+			if s.RebaselineNote != "" {
+				note += " — " + s.RebaselineNote
+			}
+			rebaseNotes = append(rebaseNotes, note)
+		}
+	}
 
 	header := []string{"metric", "unit"}
 	for _, s := range snaps {
@@ -247,6 +289,8 @@ func TrajectoryReport(snaps []Snapshot) ([]experiment.Table, []Breach, error) {
 			switch {
 			case breached[s.metric+" ("+s.unit+")"]:
 				status = "REGRESSED"
+			case rebased[s.metric+" ("+s.unit+")"]:
+				status = "rebaselined"
 			case first >= 0 && last > first && s.vals[last] < s.vals[first]:
 				status = "improved"
 			default:
@@ -281,6 +325,12 @@ func TrajectoryReport(snaps []Snapshot) ([]experiment.Table, []Breach, error) {
 	}
 	if len(brs) == 0 {
 		breachTable.Note = "none — every gated metric is within its threshold"
+	}
+	if len(rebaseNotes) > 0 {
+		if breachTable.Note != "" {
+			breachTable.Note += "; "
+		}
+		breachTable.Note += strings.Join(rebaseNotes, "; ")
 	}
 	for _, b := range brs {
 		breachTable.Rows = append(breachTable.Rows, []string{

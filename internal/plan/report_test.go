@@ -120,6 +120,56 @@ func TestTrajectoryReportFlagsBreaches(t *testing.T) {
 	}
 }
 
+// TestTrajectoryReportHonorsRebaseline pins the intentional-move escape
+// hatch: a snapshot that lists a gated metric in `rebaselined` suppresses
+// the incoming breach (the delta is a documented behavior change), surfaces
+// the reset in the report instead of an "ok", and still gates the very next
+// transition from the new baseline — a rebaseline is a reset, not a
+// permanent exemption.
+func TestTrajectoryReportHonorsRebaseline(t *testing.T) {
+	t.Parallel()
+	prev, cur := snapPair()
+	cur.Scenarios[0].Allocs = 300_000 // past the +50% limit of 212 712
+	cur.Rebaselined = []string{"urban-grid (allocs)"}
+	cur.RebaselineNote = "intentional behavior change"
+	next := Snapshot{
+		Issue: 6,
+		Scenarios: []ScenarioPoint{
+			// 20% above the rebaselined value: within the resumed gate.
+			{Name: "urban-grid", DownloadTime90S: 58.8, Transmissions90: 2761, Allocs: 360_000},
+		},
+	}
+	dir := t.TempDir()
+	snaps, err := LoadTrajectory(writeSnapshot(t, dir, prev), writeSnapshot(t, dir, cur), writeSnapshot(t, dir, next))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, brs, err := TrajectoryReport(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brs) != 0 {
+		t.Fatalf("rebaselined move still breached: %+v", brs)
+	}
+	text := tables[1].String() + tables[2].String()
+	for _, want := range []string{"rebaselined", "intentional behavior change", "BENCH_5"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report does not surface the rebaseline (%q missing):\n%s", want, text)
+		}
+	}
+
+	// Gating resumes from the new baseline: a breach after the reset fires.
+	next.Scenarios[0].Allocs = 500_000 // 300k * 1.5 = 450k limit
+	snaps[2] = next
+	_, brs, err = TrajectoryReport(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brs) != 1 || brs[0].Metric != "urban-grid (allocs)" || brs[0].Prev != 300_000 {
+		t.Fatalf("post-rebaseline gate not resumed: %+v", brs)
+	}
+}
+
 func TestTrajectoryRejectsDuplicateIssues(t *testing.T) {
 	t.Parallel()
 	prev, _ := snapPair()
@@ -149,11 +199,13 @@ func TestTrajectoryRejectsDuplicateIssues(t *testing.T) {
 }
 
 // TestCommittedTrajectoryIsClean pins the acceptance criterion on the real
-// artifacts: the checked-in BENCH_4 -> BENCH_5 trajectory renders and no
-// gated metric regressed (the alloc curve bends down).
+// artifacts: the checked-in BENCH_4 -> BENCH_7 trajectory renders and no
+// gated metric regressed past its threshold (BENCH_7's documented
+// rebaselines — the frame-start cross-stripe delivery change — count as
+// baseline resets, not regressions).
 func TestCommittedTrajectoryIsClean(t *testing.T) {
 	t.Parallel()
-	snaps, err := LoadTrajectory("../../BENCH_4.json", "../../BENCH_5.json")
+	snaps, err := LoadTrajectory("../../BENCH_4.json", "../../BENCH_5.json", "../../BENCH_6.json", "../../BENCH_7.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +220,7 @@ func TestCommittedTrajectoryIsClean(t *testing.T) {
 	if err := experiment.EmitTables(&buf, experiment.FormatText, tables...); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"BENCH_4", "BENCH_5", "urban-grid-xl", "improved"} {
+	for _, want := range []string{"BENCH_4", "BENCH_7", "urban-grid-xl", "improved", "shard/urban-metro-trial", "rebaselined"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("committed-trajectory report missing %q:\n%s", want, buf.String())
 		}

@@ -44,6 +44,12 @@ type Options struct {
 	// Stream, when non-nil, receives one JSON line per cell in cell-index
 	// order as results become available.
 	Stream io.Writer
+	// Shards, when positive, overrides every cell's Scale.Shards: 1 forces
+	// the sequential-equivalent single-stripe kernel, larger values pick the
+	// stripe count for the space-partitioned kernel. Zero keeps each cell's
+	// plan/scenario default. The CI shard-scaling smoke runs the same plan
+	// at Shards 1 and 4 and diffs the aggregate statistics.
+	Shards int
 }
 
 // Result is one completed plan run.
@@ -81,7 +87,11 @@ func Run(p *Plan, opt Options) (*Result, error) {
 	st := &orderedStream{w: opt.Stream, done: make([]bool, len(cells)), results: results, errs: errs}
 
 	runCell := func(i int) error {
-		res, err := experiment.Runner{Workers: 1}.Run(sc, cells[i].Scale, cells[i].Range)
+		scale := cells[i].Scale
+		if opt.Shards > 0 {
+			scale.Shards = opt.Shards
+		}
+		res, err := experiment.Runner{Workers: 1}.Run(sc, scale, cells[i].Range)
 		if err != nil {
 			return err
 		}

@@ -59,6 +59,49 @@ func BenchmarkKernelFire(b *testing.B) {
 	}
 }
 
+// BenchmarkShardBarrier is the old-vs-new comparison for the sharded
+// window barrier. The workload is barrier-dominated by construction: four
+// shards each run one self-rescheduling tick per lookahead window, so an op
+// is one window whose body is four trivial events and whose cost is almost
+// entirely synchronization. `serial` runs the busy shards on the
+// coordinator (the floor: no synchronization at all), `spawn` is the
+// retired goroutine-per-window + WaitGroup scheduler, and `workers` is the
+// persistent-worker epoch barrier that replaced it.
+func BenchmarkShardBarrier(b *testing.B) {
+	const shards = 4
+	const tick = time.Microsecond
+	modes := []struct {
+		name  string
+		setup func(sk *ShardedKernel)
+	}{
+		{"serial", func(sk *ShardedKernel) { sk.parallel = false }},
+		{"spawn", func(sk *ShardedKernel) { sk.spawnWindows = true }},
+		// adaptive off: the product scheduler would run these near-empty
+		// windows inline, which is exactly what this bench exists to price.
+		{"workers", func(sk *ShardedKernel) { sk.adaptive = false }},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			prev := SetDefaultShardParallel(true)
+			defer SetDefaultShardParallel(prev)
+			sk := NewShardedKernel(1, shards, tick)
+			defer sk.Close()
+			mode.setup(sk)
+			for i := 0; i < shards; i++ {
+				k := sk.Shard(i)
+				var step func()
+				step = func() { k.ScheduleFunc(tick, step) }
+				k.ScheduleFuncAt(0, step)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := sk.Run(time.Duration(b.N) * tick); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkTimerReset measures the steady-state Reset of a live timer — the
 // retransmission-timeout hot path. The contract is 0 allocs/op.
 func BenchmarkTimerReset(b *testing.B) {

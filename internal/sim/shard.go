@@ -2,14 +2,15 @@ package sim
 
 // Space-partitioned parallel execution: a ShardedKernel composes S
 // per-shard Kernels (each with its own wheel, clock, and RNG stream) and
-// advances them in lockstep lookahead windows. Within a window the shards
-// share no mutable state — cross-shard effects are staged through SendFrom
-// into per-(from,to) handoff slices and merged at the window barrier in a
-// fixed order — so running the busy shards serially or on one goroutine
-// each produces byte-identical simulations. That serial==parallel identity
-// is the package's correctness gate for sharded execution (enforced by
-// TestShardedSerialMatchesParallel here and by the sharded golden-trace
-// suite in internal/experiment).
+// advances them in conservative lookahead windows. Within a window the
+// shards share no mutable state — cross-shard effects are staged through
+// SendFrom into per-(from,to) handoff slices (or through a typed barrier
+// merge hook, see SetBarrierMerge) and merged at the window barrier in a
+// fixed order — so running the busy shards serially or on one worker
+// goroutine each produces byte-identical simulations. That
+// serial==parallel identity is the package's correctness gate for sharded
+// execution (enforced by TestShardedSerialMatchesParallel here and by the
+// sharded golden-trace suite in internal/experiment).
 //
 // The lookahead window is the classic conservative-PDES bound: if no
 // cross-shard effect can land earlier than `lookahead` after it is sent,
@@ -21,6 +22,38 @@ package sim
 // cross-shard deliveries for fewer barriers (the relaxation is documented
 // in docs/PERFORMANCE.md).
 //
+// Three scheduler refinements ride on top of the basic lockstep loop, all
+// deterministic functions of barrier-time state:
+//
+//   - Persistent workers. Parallel windows are executed by per-shard
+//     worker goroutines that park on a channel receive between windows;
+//     the coordinator publishes the window bound on each busy worker's
+//     wake channel (the epoch publish), runs the lowest busy shard
+//     inline, and waits for an atomic countdown to release the single
+//     done channel. This replaces the goroutine-per-window spawn +
+//     WaitGroup barrier, whose setup cost exceeded the window body at
+//     urban-grid scale (see docs/PERFORMANCE.md). Workers are spawned
+//     lazily by the first parallel window and released by Close.
+//
+//   - Boundary-aware window batching. When a window oracle is installed
+//     (SetWindowOracle — phy.ShardedMedium installs one derived from
+//     stripe-edge occupancy), the coordinator may extend a window past
+//     T+lookahead up to the oracle's "quiet" bound: the earliest virtual
+//     time at which any cross-shard effect could be generated. A window
+//     that ends at or before the quiet bound contains no cross-shard
+//     traffic by construction, so collapsing thousands of per-lookahead
+//     barriers into one is trace-preserving. WindowLockstep retains the
+//     one-lookahead-per-window scheduler as the executable reference
+//     (SetDefaultShardWindowing, like phy.IndexNaive / sim.QueueHeap).
+//
+//   - Adaptive inline execution. A parallel-mode window still runs on the
+//     coordinator's goroutine when the worker barrier cannot pay for
+//     itself: when the runtime has no parallelism to offer
+//     (GOMAXPROCS==1), or when the previous window fired fewer than
+//     workerWindowEvents events. Both inputs are independent of the
+//     trace — execution mode never changes results (the serial==parallel
+//     gate) — so the choice is free to depend on the host.
+//
 // Relaxed global-trace contract: a ShardedKernel with S>1 is NOT
 // byte-identical to a single Kernel running the same scenario — each shard
 // draws from its own seeded RNG stream, and event seq numbers are
@@ -30,10 +63,16 @@ package sim
 // that is the executable bridge between the two contracts.
 
 import (
+	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrClosed is returned by Run on a ShardedKernel whose Close has been
+// called (RunUntil reports false for the same reason).
+var ErrClosed = errors.New("sim: Run on a closed ShardedKernel")
 
 // shardSeedStride separates per-shard RNG streams. Like TrialSeed and
 // CellSeed, derivation is documented two's-complement wrap: the sum is
@@ -49,7 +88,7 @@ func ShardSeed(seed int64, shard int) int64 {
 }
 
 // defaultShardParallel selects whether ShardedKernel windows run the busy
-// shards on one goroutine each (true) or serially on the caller's
+// shards on one worker goroutine each (true) or serially on the caller's
 // goroutine (false). Atomic for the same reason as SetDefaultQueue: the
 // equivalence suite flips it while parallel trial workers construct
 // kernels, and because serial and parallel windows are byte-identical a
@@ -66,26 +105,115 @@ func SetDefaultShardParallel(on bool) bool {
 	return defaultShardParallel.Swap(on)
 }
 
+// WindowingMode selects how the coordinator sizes lookahead windows.
+type WindowingMode int32
+
+const (
+	// WindowBatched extends windows past T+lookahead up to the installed
+	// window oracle's quiet bound (no oracle installed means no extension,
+	// which degenerates to lockstep). The default.
+	WindowBatched WindowingMode = iota
+	// WindowLockstep runs exactly one lookahead per window — the
+	// executable reference WindowBatched must reproduce
+	// (TestWindowBatchingMatchesLockstep).
+	WindowLockstep
+)
+
+// defaultShardWindowing holds the WindowingMode for newly constructed
+// kernels. The zero value is WindowBatched.
+var defaultShardWindowing atomic.Int32
+
+// SetDefaultShardWindowing sets the window scheduler used by kernels
+// constructed by NewShardedKernel, returning the previous setting.
+// WindowLockstep is the executable reference the batched scheduler must
+// reproduce byte-for-byte on oracle-covered workloads.
+func SetDefaultShardWindowing(m WindowingMode) WindowingMode {
+	return WindowingMode(defaultShardWindowing.Swap(int32(m)))
+}
+
 // handoff is one cross-shard effect staged for merge at the next barrier.
 type handoff struct {
 	at time.Duration
 	fn func()
 }
 
+// stagedFlag is a cache-line-padded dirty bit. Shard i writes only
+// staged[i] during a window (its own line), so flagging handoffs from
+// parallel workers is race- and false-sharing-free; the coordinator reads
+// and clears all S flags at the barrier.
+type stagedFlag struct {
+	v bool
+	_ [63]byte
+}
+
 // ShardedKernel runs S per-shard kernels in conservative lockstep windows
 // behind the same Run/RunUntil surface as Kernel. Construct with
-// NewShardedKernel; the zero value is not usable.
+// NewShardedKernel; the zero value is not usable. A kernel that executed
+// parallel windows owns worker goroutines: call Close when done with it
+// (Close is idempotent; Run after Close returns ErrClosed).
+//
+// ShardedKernel is not safe for concurrent use: Run, RunUntil, SendFrom
+// (outside windows), and Close must all be called from the coordinating
+// goroutine. Within a window, shard code runs on per-shard workers and
+// must touch only its own shard's state plus SendFrom's own-row staging.
 type ShardedKernel struct {
 	shards    []*Kernel
 	lookahead time.Duration
 	parallel  bool
+	windowing WindowingMode
+
 	// out[from][to] stages handoffs sent by shard `from` to shard `to`
-	// during the current window. Shard goroutines write only their own
-	// `from` row, which is what makes window execution race-free without
-	// locks; the coordinator merges all rows at the barrier in (from, to)
-	// order so the merge itself is deterministic.
-	out  [][][]handoff
-	busy []int // scratch: indices of shards with events in the window
+	// during the current window. Shard workers write only their own `from`
+	// row, which is what makes window execution race-free without locks;
+	// the coordinator merges all rows at the barrier in (from, to) order
+	// so the merge itself is deterministic.
+	out    [][][]handoff
+	staged []stagedFlag // staged[from]: out[from] has unmerged handoffs
+	busy   []int        // scratch: indices of shards with events in the window
+
+	// merge (optional) runs at every barrier before the generic flush; phy
+	// installs its typed handoff merge + boundary-mask publish here.
+	merge func()
+	// oracle (optional) reports the quiet bound for a window starting at
+	// the given time; see SetWindowOracle.
+	oracle func(start time.Duration) time.Duration
+
+	// Persistent worker state. wake[i] (i ≥ 1) carries the window bound to
+	// shard i's parked worker; workers count down pending and the last one
+	// releases done. Spawned lazily by the first parallel window.
+	wake    []chan time.Duration
+	done    chan struct{}
+	pending atomic.Int32
+	winStop atomic.Bool
+	closed  bool
+
+	// spawnWindows routes parallel windows through the retired
+	// goroutine-per-window scheduler; reachable only from benchmarks and
+	// equivalence tests (BenchmarkShardBarrier measures old vs new).
+	spawnWindows bool
+
+	// adaptive (the default) lets the coordinator run a parallel-mode
+	// window inline when the worker barrier cannot pay: when the runtime
+	// has a single execution slot (multicore is false — workers would only
+	// add context switches), or when the previous window executed fewer
+	// than workerWindowEvents events (near-empty windows — the common case
+	// at sub-metro scale, where a lookahead holds a handful of timers —
+	// cost less on the caller's goroutine than one worker
+	// publish/countdown round-trip). Neither input feeds back into the
+	// simulation: execution mode never changes any result (that is the
+	// serial==parallel gate), so the scheduler is free to consult the host.
+	// Tests and benchmarks that measure a specific barrier mechanism clear
+	// adaptive to force every window through it.
+	adaptive        bool
+	multicore       bool
+	lastWindowFired uint64
+
+	windowsRun uint64 // barriers crossed; observability for batching tests
+
+	// Stopped-clock state: after a run ends via Stop, Now reports the
+	// stopping shard's clock instead of the max.
+	stopAt    time.Duration
+	stopValid bool
 }
 
 // NewShardedKernel returns a kernel of `shards` spatial shards advancing
@@ -104,7 +232,11 @@ func NewShardedKernel(seed int64, shards int, lookahead time.Duration) *ShardedK
 		shards:    make([]*Kernel, shards),
 		lookahead: lookahead,
 		parallel:  defaultShardParallel.Load(),
+		windowing: WindowingMode(defaultShardWindowing.Load()),
+		adaptive:  true,
+		multicore: runtime.GOMAXPROCS(0) > 1,
 		out:       make([][][]handoff, shards),
+		staged:    make([]stagedFlag, shards),
 		busy:      make([]int, 0, shards),
 	}
 	for i := range sk.shards {
@@ -122,12 +254,49 @@ func (sk *ShardedKernel) Shards() int { return len(sk.shards) }
 // shard go through SendFrom.
 func (sk *ShardedKernel) Shard(i int) *Kernel { return sk.shards[i] }
 
-// Lookahead returns the lockstep window length.
+// Lookahead returns the conservative window length.
 func (sk *ShardedKernel) Lookahead() time.Duration { return sk.lookahead }
 
-// Now returns the latest shard clock. At window barriers every shard sits
-// on the same time, so between Run calls this is the global virtual clock.
+// Windows returns the number of window barriers crossed so far. Batching
+// effectiveness is directly observable here: an oracle-extended run
+// crosses fewer barriers than the lockstep reference for the same trace.
+func (sk *ShardedKernel) Windows() uint64 { return sk.windowsRun }
+
+// SetBarrierMerge installs fn to run at every window barrier (and at run
+// entry), before the generic SendFrom flush, with all shard clocks
+// advanced to the barrier. The phy layer merges its typed cross-shard
+// handoffs and republishes stripe-boundary occupancy here. fn must be
+// deterministic given barrier-time state and must be cheap when nothing
+// was staged — it runs even for silent barriers.
+func (sk *ShardedKernel) SetBarrierMerge(fn func()) { sk.merge = fn }
+
+// SetWindowOracle installs the boundary oracle consulted by the batched
+// window scheduler. oracle(start) must return a conservative "quiet"
+// bound: a virtual time q ≥ start such that no event strictly before q
+// can stage a cross-shard effect (q == start claims nothing and disables
+// extension for that window). When q exceeds start+lookahead the window is
+// extended to end exactly at q, so the extended window provably contains
+// no cross-shard traffic and the collapse of the intermediate barriers is
+// trace-preserving. Installing an oracle asserts that ALL cross-shard
+// traffic is covered by its bound — including generic SendFrom use, not
+// just the installer's own.
+func (sk *ShardedKernel) SetWindowOracle(fn func(start time.Duration) time.Duration) {
+	sk.oracle = fn
+}
+
+// Now returns the global virtual clock: the latest shard clock, or, after
+// a run ended via Stop, the stopping shard's clock (the earliest stop
+// point when several shards stopped in the same window). At window
+// barriers every shard sits on the same time, so between Run calls this
+// matches Kernel's clock contract, including the stopped-clock rule.
 func (sk *ShardedKernel) Now() time.Duration {
+	if sk.stopValid {
+		return sk.stopAt
+	}
+	return sk.maxNow()
+}
+
+func (sk *ShardedKernel) maxNow() time.Duration {
 	var max time.Duration
 	for _, k := range sk.shards {
 		if k.now > max {
@@ -169,13 +338,69 @@ func (sk *ShardedKernel) Pending() int {
 // and a bounded (≤ window) delay under a relaxed one.
 func (sk *ShardedKernel) SendFrom(from, to int, at time.Duration, fn func()) {
 	sk.out[from][to] = append(sk.out[from][to], handoff{at: at, fn: fn})
+	sk.staged[from].v = true
 }
 
-// flush merges every staged handoff into its target shard, in (from, to)
-// order, then clears the staging rows (keeping capacity). Must only run at
-// a barrier — no shard goroutine is inside a window.
+// Close releases the persistent shard workers. Idempotent; safe on a
+// kernel that never ran a parallel window. After Close, Run returns
+// ErrClosed and RunUntil reports false without executing anything.
+// Call from the coordinating goroutine only, never from inside a window.
+func (sk *ShardedKernel) Close() {
+	if sk.closed {
+		return
+	}
+	sk.closed = true
+	for _, ch := range sk.wake {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	sk.wake = nil
+}
+
+// ensureWorkers lazily spawns the persistent workers: one per shard i ≥ 1
+// (the coordinator always runs the lowest busy shard inline, and when
+// shard 0 is busy it is the lowest, so shard 0 never needs a worker).
+func (sk *ShardedKernel) ensureWorkers() {
+	if sk.wake != nil {
+		return
+	}
+	sk.wake = make([]chan time.Duration, len(sk.shards))
+	sk.done = make(chan struct{}, 1)
+	for i := 1; i < len(sk.shards); i++ {
+		sk.wake[i] = make(chan time.Duration, 1)
+		go sk.shardWorker(sk.shards[i], sk.wake[i])
+	}
+}
+
+// shardWorker is the persistent per-shard loop: park on the wake channel,
+// run one window, count down, release the coordinator when last. The
+// buffered wake channel is the epoch publish (a send parks/unparks on a
+// futex-backed semaphore, no spin); the atomic countdown plus single done
+// channel is the sense-reversing completion barrier — the countdown reset
+// by the coordinator before the next publish is what flips the epoch.
+func (sk *ShardedKernel) shardWorker(k *Kernel, wake <-chan time.Duration) {
+	for until := range wake {
+		if !k.runWindow(until) {
+			sk.winStop.Store(true)
+		}
+		if sk.pending.Add(-1) == 0 {
+			sk.done <- struct{}{}
+		}
+	}
+}
+
+// flush merges every staged SendFrom handoff into its target shard, in
+// (from, to) order, then clears the staging rows (keeping capacity). Must
+// only run at a barrier — no shard worker is inside a window. Rows whose
+// shard staged nothing are skipped via the per-shard dirty flags, so a
+// silent barrier costs O(S), not O(S²).
 func (sk *ShardedKernel) flush() {
 	for from := range sk.out {
+		if !sk.staged[from].v {
+			continue
+		}
+		sk.staged[from].v = false
 		for to := range sk.out[from] {
 			hs := sk.out[from][to]
 			if len(hs) == 0 {
@@ -191,6 +416,16 @@ func (sk *ShardedKernel) flush() {
 	}
 }
 
+// runMerge performs the full barrier merge: the typed merge hook first
+// (phy handoffs + boundary-mask publish), then the generic SendFrom
+// flush. The order is fixed so the merge is deterministic.
+func (sk *ShardedKernel) runMerge() {
+	if sk.merge != nil {
+		sk.merge()
+	}
+	sk.flush()
+}
+
 // nextEventTime returns the global minimum next-event time across shards.
 func (sk *ShardedKernel) nextEventTime() (time.Duration, bool) {
 	var min time.Duration
@@ -203,14 +438,28 @@ func (sk *ShardedKernel) nextEventTime() (time.Duration, bool) {
 	return min, found
 }
 
+// workerWindowEvents is the adaptive scheduler's inline threshold: a
+// parallel-mode window runs on the coordinator when the previous window
+// fired fewer events than this. One publish/countdown round trip costs
+// microseconds of wakeup latency per worker, and a fired event averages
+// under a microsecond, so a window needs a few hundred events before the
+// split amortizes the barrier. Chosen conservatively high: light windows
+// dominate sub-metro workloads, and running one heavy window inline costs
+// far less than running thousands of light ones through the barrier.
+const workerWindowEvents = 512
+
 // runShards executes one window [*, until) on every shard that has an
-// event inside it — serially in shard order, or one goroutine per busy
-// shard when parallel execution is on and at least two shards are busy.
-// The two modes are byte-identical because shards share no mutable state
-// within a window. Reports whether any shard stopped; like the parallel
-// mode (which cannot interrupt sibling goroutines), the serial mode still
-// finishes every busy shard's window after one stops.
+// event inside it — serially in shard order, or in parallel with the
+// lowest busy shard on the coordinator and the rest on their persistent
+// workers. In parallel mode the adaptive scheduler still runs near-empty
+// windows inline (see the adaptive field). The modes are byte-identical
+// because shards share no mutable state within a window. Reports whether
+// any shard stopped; like the parallel mode (which cannot interrupt
+// sibling workers), the serial mode still finishes every busy shard's
+// window after one stops.
 func (sk *ShardedKernel) runShards(until time.Duration) (stopped bool) {
+	fired := sk.EventsFired()
+	defer func() { sk.lastWindowFired = sk.EventsFired() - fired }()
 	busy := sk.busy[:0]
 	for i, k := range sk.shards {
 		if ev := k.queue.peek(); ev != nil && ev.at < until {
@@ -218,7 +467,9 @@ func (sk *ShardedKernel) runShards(until time.Duration) (stopped bool) {
 		}
 	}
 	sk.busy = busy
-	if !sk.parallel || len(busy) < 2 {
+	if !sk.parallel || len(busy) < 2 ||
+		(sk.adaptive && !sk.spawnWindows &&
+			(!sk.multicore || sk.lastWindowFired < workerWindowEvents)) {
 		for _, i := range busy {
 			if !sk.shards[i].runWindow(until) {
 				stopped = true
@@ -226,6 +477,26 @@ func (sk *ShardedKernel) runShards(until time.Duration) (stopped bool) {
 		}
 		return stopped
 	}
+	if sk.spawnWindows {
+		return sk.runShardsSpawn(until, busy)
+	}
+	sk.ensureWorkers()
+	sk.winStop.Store(false)
+	sk.pending.Store(int32(len(busy) - 1))
+	for _, i := range busy[1:] {
+		sk.wake[i] <- until
+	}
+	if !sk.shards[busy[0]].runWindow(until) {
+		stopped = true
+	}
+	<-sk.done
+	return stopped || sk.winStop.Load()
+}
+
+// runShardsSpawn is the retired goroutine-per-window scheduler, kept as
+// the executable baseline BenchmarkShardBarrier measures the persistent
+// workers against (and TestShardedSpawnMatchesWorkers holds equivalent).
+func (sk *ShardedKernel) runShardsSpawn(until time.Duration, busy []int) bool {
 	var wg sync.WaitGroup
 	var anyStopped atomic.Bool
 	for _, i := range busy {
@@ -241,20 +512,38 @@ func (sk *ShardedKernel) runShards(until time.Duration) (stopped bool) {
 	return anyStopped.Load()
 }
 
-// windows drives the lockstep loop shared by Run and RunUntil: pick the
-// global minimum event time T, run every shard through [T, T+lookahead),
-// advance all clocks to the barrier, merge handoffs, and (when given)
-// evaluate cond. Returns condMet and stopped.
+// markStopped records the stopped-clock: the earliest clock among shards
+// that called Stop in the final window.
+func (sk *ShardedKernel) markStopped() {
+	at := time.Duration(-1)
+	for _, k := range sk.shards {
+		if k.stopped && (at < 0 || k.now < at) {
+			at = k.now
+		}
+	}
+	if at >= 0 {
+		sk.stopAt, sk.stopValid = at, true
+	}
+}
+
+// windows drives the window loop shared by Run and RunUntil: pick the
+// global minimum event time T, size the window (one lookahead, or out to
+// the oracle's quiet bound under WindowBatched), run every busy shard
+// through it, advance all clocks to the barrier, merge handoffs, and
+// (when given) evaluate cond. Returns condMet and stopped.
 //
 // Relaxation note: with S>1, cond is evaluated at window barriers rather
 // than after every event (a cross-shard condition cannot be observed
-// mid-window without a barrier anyway). With S==1 RunUntil delegates to
-// the inner kernel, which checks after every event.
+// mid-window without a barrier anyway); under WindowBatched the barriers
+// — and therefore the cond checks — can additionally be as sparse as the
+// oracle's quiet bounds allow. With S==1 RunUntil delegates to the inner
+// kernel, which checks after every event.
 func (sk *ShardedKernel) windows(horizon time.Duration, cond func() bool) (condMet, stopped bool) {
+	sk.stopValid = false
 	for _, k := range sk.shards {
 		k.stopped = false
 	}
-	sk.flush() // handoffs staged before the run (or left by a stopped one)
+	sk.runMerge() // handoffs staged before the run (or left by a stopped one)
 	if cond != nil && cond() {
 		return true, false
 	}
@@ -270,22 +559,41 @@ func (sk *ShardedKernel) windows(horizon time.Duration, cond func() bool) (condM
 		if until <= t { // overflow guard for horizonless huge lookaheads
 			until = t + 1
 		}
+		if sk.windowing != WindowLockstep && sk.oracle != nil {
+			// The extended window ends exactly at the quiet bound, so it
+			// contains no cross-shard traffic and skipping the collapsed
+			// intermediate barriers cannot change the trace.
+			if quiet := sk.oracle(t); quiet > until {
+				until = quiet
+			}
+		}
 		if horizon > 0 && until > horizon {
 			// Shrink the final window to end just past the horizon so events
 			// at exactly the horizon still run (Run's contract is inclusive).
 			until = horizon + 1
 		}
+		sk.windowsRun++
 		if sk.runShards(until) {
+			sk.markStopped()
 			return false, true
 		}
 		barrier := until
-		if horizon > 0 && barrier > horizon {
-			barrier = horizon
+		if horizon > 0 {
+			if barrier > horizon {
+				barrier = horizon
+			}
+		} else if cap := sk.maxNow() + sk.lookahead; cap > 0 && cap < barrier {
+			// Horizonless runs: an oracle-extended window can end far past
+			// the last event actually executed; cap the barrier one
+			// lookahead past it so clocks don't warp toward the quiet
+			// bound. Exact for conservative handoffs (their `at` is at
+			// least a lookahead past the staging event, hence ≥ cap).
+			barrier = cap
 		}
 		for _, k := range sk.shards {
 			k.advanceTo(barrier)
 		}
-		sk.flush()
+		sk.runMerge()
 		if cond != nil && cond() {
 			return true, false
 		}
@@ -300,12 +608,17 @@ func (sk *ShardedKernel) windows(horizon time.Duration, cond func() bool) (condM
 
 // Run executes events across all shards until every queue drains, the
 // horizon is exceeded, or some shard calls Stop. Semantics mirror
-// Kernel.Run, including the stopped-clock contract. With one shard it
+// Kernel.Run, including the stopped-clock contract (Now reports the
+// stopping shard's clock after an ErrStopped run). With one shard it
 // delegates to the inner kernel and is byte-identical to sequential
-// execution.
+// execution. Returns ErrClosed after Close.
 func (sk *ShardedKernel) Run(horizon time.Duration) error {
+	if sk.closed {
+		return ErrClosed
+	}
 	if len(sk.shards) == 1 {
-		sk.flush()
+		sk.stopValid = false
+		sk.runMerge()
 		return sk.shards[0].Run(horizon)
 	}
 	if _, stopped := sk.windows(horizon, nil); stopped {
@@ -317,10 +630,15 @@ func (sk *ShardedKernel) Run(horizon time.Duration) error {
 // RunUntil executes events while cond returns false, reporting whether it
 // was satisfied. With one shard it delegates to the inner kernel (cond
 // checked after every event); with more, cond is checked at each window
-// barrier — see the relaxation note on windows.
+// barrier — see the relaxation note on windows. Reports false without
+// executing anything after Close.
 func (sk *ShardedKernel) RunUntil(horizon time.Duration, cond func() bool) bool {
+	if sk.closed {
+		return false
+	}
 	if len(sk.shards) == 1 {
-		sk.flush()
+		sk.stopValid = false
+		sk.runMerge()
 		return sk.shards[0].RunUntil(horizon, cond)
 	}
 	met, _ := sk.windows(horizon, cond)

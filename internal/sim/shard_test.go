@@ -141,13 +141,19 @@ func TestShardedSingleShardMatchesKernel(t *testing.T) {
 // body of the serial==parallel equivalence test and the CI -race churn step
 // (cross-shard state is only ever touched through SendFrom staging, so the
 // race detector proves windows really share nothing).
-func shardedChurn(t *testing.T, shards int, parallel bool) [][]int64 {
+func shardedChurn(t *testing.T, shards int, parallel, spawn bool) [][]int64 {
 	t.Helper()
 	prev := SetDefaultShardParallel(parallel)
 	defer SetDefaultShardParallel(prev)
 
 	const lookahead = 50 * time.Microsecond
 	sk := NewShardedKernel(9001, shards, lookahead)
+	defer sk.Close()
+	sk.spawnWindows = spawn
+	// Force every parallel window through the selected barrier mechanism:
+	// the adaptive scheduler would run this light workload inline, leaving
+	// the spawn-vs-workers comparison vacuous.
+	sk.adaptive = false
 	traces := make([][]int64, shards)
 
 	// Each shard runs a self-sustaining chain that records (id, now) into its
@@ -197,8 +203,8 @@ func shardedChurn(t *testing.T, shards int, parallel bool) [][]int64 {
 func TestShardedSerialMatchesParallel(t *testing.T) {
 	t.Parallel()
 	for _, shards := range []int{2, 3, 4, 7} {
-		serial := shardedChurn(t, shards, false)
-		par := shardedChurn(t, shards, true)
+		serial := shardedChurn(t, shards, false, false)
+		par := shardedChurn(t, shards, true, false)
 		total := 0
 		for s := 0; s < shards; s++ {
 			if len(serial[s]) != len(par[s]) {
