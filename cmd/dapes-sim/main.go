@@ -17,6 +17,7 @@ import (
 
 	"dapes/internal/core"
 	"dapes/internal/experiment"
+	"dapes/internal/fault"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "base random seed; trial t runs at TrialSeed(seed, t)")
 		horizon   = flag.Duration("horizon", 45*time.Minute, "per-trial virtual time limit")
 		shards    = flag.Int("shards", 0, "space-partitioned kernel stripes per trial (0 = scenario default, 1 = sequential-equivalent)")
+		faults    = flag.String("faults", "", "fault-plan file (crashes, bursty loss, jammer; see docs/EXPERIMENTS.md)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -102,6 +104,13 @@ func run() error {
 	s.Horizon = *horizon
 	s.Workers = *workers
 	s.Shards = *shards
+	if *faults != "" {
+		fp, err := fault.ParseFile(*faults)
+		if err != nil {
+			return fmt.Errorf("faults: %w", err)
+		}
+		s.Faults = fp
+	}
 	runner := experiment.Runner{} // pool size comes from s.Workers
 
 	if *scenario != "" {

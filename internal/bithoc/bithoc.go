@@ -140,6 +140,19 @@ func NewPeer(k *sim.Kernel, medium *phy.Medium, mobility geo.Mobility, cfg Confi
 	p.radio = p.router.Radio()
 	p.reliable = transport.NewReliable(k, p.router, p.cfg.Transport)
 	p.reliable.SetReceive(p.onReliable)
+	// When the transport abandons a message after MaxRetries the neighbor
+	// is unreachable: drop it from the swarm view and re-plan immediately,
+	// instead of re-requesting from a dead holder until its HELLO state
+	// ages out of the peer table.
+	p.reliable.SetOnFail(func(_ uint32, dst int) {
+		if !p.running {
+			return
+		}
+		if _, known := p.peers[dst]; known {
+			delete(p.peers, dst)
+			p.pump()
+		}
+	})
 	// Chain onto the radio handler: routing frames go to DSDV (already
 	// installed); HELLO floods are ours.
 	prev := p.radio.Handler()

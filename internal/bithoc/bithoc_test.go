@@ -135,3 +135,47 @@ func TestStopSilences(t *testing.T) {
 		t.Fatal("stopped peer kept flooding")
 	}
 }
+
+// TestDeadSeederFailover pins the OnFail hook's consumer-side contract: a
+// leecher whose current seeder dies mid-swarm must not stall on retry
+// timeouts forever — the transport's abandoned-message report evicts the
+// dead peer, and the piece planner re-pumps against the surviving holder.
+// NeighborTTL is set far beyond the horizon so HELLO expiry cannot mask the
+// failover: only the OnFail path can remove the corpse.
+func TestDeadSeederFailover(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(83)
+	medium := phy.NewMedium(k, phy.Config{Range: 50})
+
+	cfg := Config{NeighborTTL: 10 * time.Hour}
+	s1 := NewPeer(k, medium, geo.Stationary{At: geo.Point{X: 0}}, cfg)
+	s1.Seed(20, 100)
+	s2 := NewPeer(k, medium, geo.Stationary{At: geo.Point{Y: 20}}, cfg)
+	s2.Seed(20, 100)
+	leech := NewPeer(k, medium, geo.Stationary{At: geo.Point{X: 20}}, cfg)
+	leech.Fetch(20, 100)
+
+	s1.Start()
+	s2.Start()
+	leech.Start()
+
+	// Long enough for HELLOs and a few pieces, then s1 goes dark without a
+	// goodbye: routing keeps advertising it for a while and the leecher's
+	// neighbor table would hold it for hours.
+	k.Run(20 * time.Second)
+	s1.Stop()
+	s1.Router().Radio().SetEnabled(false)
+
+	ok := k.RunUntil(15*time.Minute, func() bool {
+		done, _ := leech.Done()
+		return done
+	})
+	if !ok {
+		have, total := leech.Progress()
+		t.Fatalf("no failover to the live seeder: %d/%d (stats %+v, transport failures %d)",
+			have, total, leech.Stats(), leech.Reliable().Failures)
+	}
+	if leech.Reliable().Failures == 0 {
+		t.Fatal("download finished without any transport failure: the dead seeder was never exercised")
+	}
+}

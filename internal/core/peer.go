@@ -114,11 +114,39 @@ func (p *Peer) Start() {
 	p.sweepT.Reset(p.cfg.NeighborTTL / 2)
 }
 
-// Stop halts beaconing; in-flight timers drain harmlessly.
+// Stop halts the peer: beaconing, housekeeping, pending replies, metadata
+// retries, advertisement transmissions, and in-flight Interest timeouts are
+// all cancelled, so a stopped peer leaves nothing armed in the kernel and
+// Kernel.Pending drains (already-queued one-shot sends no-op on !running
+// and fire at most once). Stop is idempotent and Start reverses it.
 func (p *Peer) Stop() {
 	p.running = false
 	p.beaconT.Stop()
 	p.sweepT.Stop()
+	//lint:ignore maporder timer cancellation and free-list refill only; recycled records are reset before reuse, so pool order never reaches the trace
+	for _, rt := range p.pendingReplies {
+		rt.t.Stop()
+		rt.key, rt.d, rt.counter = "", nil, nil
+		p.replyPool = append(p.replyPool, rt)
+	}
+	p.pendingReplies = make(map[string]*replyTimer)
+	//lint:ignore maporder timer cancellation and free-list refill only; recycled records are reset before reuse, so pool order never reaches the trace
+	for _, cs := range p.collections {
+		if cs.metaT != nil {
+			cs.metaT.Stop()
+		}
+		if cs.txT != nil {
+			cs.txT.Stop()
+		}
+		//lint:ignore maporder timer cancellation and free-list refill only; recycled records are reset before reuse, so pool order never reaches the trace
+		for _, it := range cs.inflight {
+			it.t.Stop()
+			it.cs = nil
+			p.inflightPool = append(p.inflightPool, it)
+		}
+		cs.inflight = make(map[int]*inflightTimer)
+		cs.fetching = false
+	}
 }
 
 // Subscribe declares interest in any collection whose name matches prefix.
@@ -479,7 +507,7 @@ func (p *Peer) wants(collection ndn.Name) bool {
 // timer is created once per collection and re-armed across the whole
 // segment sequence.
 func (p *Peer) requestNextMetaSegment(cs *collectionState) {
-	if cs.manifest != nil || cs.metaName == nil || (cs.metaT != nil && cs.metaT.Pending()) {
+	if !p.running || cs.manifest != nil || cs.metaName == nil || (cs.metaT != nil && cs.metaT.Pending()) {
 		return
 	}
 	seq := 0

@@ -201,4 +201,39 @@ func init() {
 		},
 		Run: urbanMetroTrial,
 	})
+	Register(&Scenario{
+		Name:      "urban-grid-chaos",
+		Summary:   "urban-grid under churn: crashes with cold restarts over a bursty Gilbert-Elliott channel",
+		Optimizes: "robustness: completions under churn and restart-to-recompletion recovery time",
+		Narrative: "The dense urban-grid mix with a seeded fault schedule: about a third " +
+			"of the downloaders and intermediates crash in the trial's first half and " +
+			"cold-restart (empty tables, subscriptions kept) a sixth of a horizon later, " +
+			"while every receiver sees bursty two-state loss instead of i.i.d. coin " +
+			"flips. The schedule is a pure function of the trial seed (internal/fault), " +
+			"so runs replay byte-identically at any worker or shard count. Reported " +
+			"extras: crashed count and mean restart-to-recompletion time.",
+		Params: []Param{
+			{Name: "crashes", Value: "34% of downloaders+intermediates in [H/6, H/3)", Doc: "cold restart H/9-H/6 later"},
+			{Name: "loss", Value: "Gilbert-Elliott 5%/40%, transitions 0.10/0.30", Doc: "bursty per-receiver channel"},
+			{Name: "faults", Value: "Scale.Faults overrides the default plan", Doc: "[faults] section or dapes-sim -faults"},
+		},
+		Run: urbanGridChaosTrial,
+	})
+	Register(&Scenario{
+		Name:      "blackout-recovery",
+		Summary:   "Fig.-7 workload with a regional jammer blacking out the arena's center mid-trial",
+		Optimizes: "robustness: re-synchronization after a coverage hole opens and closes",
+		Narrative: "The paper's workload with a jammer disk covering the middle third " +
+			"of the arena from H/8 to 3H/8: receptions completing inside the disk are " +
+			"dropped, so downloads in progress stall and must resume — via mobility, " +
+			"multi-hop detours, or patience — once the blackout lifts. The jammer is a " +
+			"pure position/time predicate (no RNG), so it is trace-neutral outside its " +
+			"window and identical across shard counts.",
+		Params: []Param{
+			{Name: "jam disk", Value: "radius 0.35 x AreaSide at the arena center", Doc: "receiver-side blackout"},
+			{Name: "window", Value: "[H/8, 3H/8)", Doc: "a quarter of the horizon, starting an eighth in"},
+			{Name: "faults", Value: "Scale.Faults overrides the default plan", Doc: "[faults] section or dapes-sim -faults"},
+		},
+		Run: blackoutRecoveryTrial,
+	})
 }

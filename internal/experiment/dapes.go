@@ -61,6 +61,7 @@ func RunDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptions) (Tr
 // runSequentialDAPESTrial is the single-kernel reference implementation.
 func runSequentialDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptions) (TrialResult, error) {
 	topo := buildTopology(s, wifiRange, trial)
+	installMediumFaults(topo.medium, s.Faults, TrialSeed(s.BaseSeed, trial))
 	res, err := buildCollection(s, s.BaseSeed+int64(trial))
 	if err != nil {
 		return TrialResult{}, err
@@ -113,7 +114,12 @@ func runSequentialDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOp
 		}
 	}
 
+	sched, faultsUntil := scheduleCrashes(s.Faults, TrialSeed(s.BaseSeed, trial), downloaders, intermediates)
+
 	topo.kernel.RunUntil(s.Horizon, func() bool {
+		if topo.kernel.Now() < faultsUntil {
+			return false
+		}
 		for _, p := range downloaders {
 			if done, _ := p.Done(collection); !done {
 				return false
@@ -122,7 +128,9 @@ func runSequentialDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOp
 		return true
 	})
 
-	return collectDAPES(topo.medium.Stats().Transmissions, collection, downloaders, intermediates, pures, s.Horizon), nil
+	result := collectDAPES(topo.medium.Stats().Transmissions, collection, downloaders, intermediates, pures, s.Horizon)
+	chaosStats(&result, sched, downloaders, collection)
+	return result, nil
 }
 
 // collectDAPES folds one finished trial's peers into a TrialResult; tx is

@@ -60,6 +60,10 @@ type trialJSON struct {
 	Downloaders     int     `json:"downloaders"`
 	ForwardAccuracy float64 `json:"forward_accuracy,omitempty"`
 	MemoryBytes     int     `json:"memory_bytes,omitempty"`
+	// Chaos statistics (fault-plan runs only; omitted otherwise, so
+	// fault-free output is unchanged).
+	Crashed     int     `json:"crashed,omitempty"`
+	RecoverySec float64 `json:"recovery_sec,omitempty"`
 }
 
 type runJSON struct {
@@ -91,6 +95,8 @@ func runToJSON(r RunResult) runJSON {
 			Downloaders:     tr.Downloaders,
 			ForwardAccuracy: tr.ForwardAccuracy,
 			MemoryBytes:     tr.MemoryBytes,
+			Crashed:         tr.Crashed,
+			RecoverySec:     tr.Recovery.Seconds(),
 		}
 	}
 	return out
@@ -153,6 +159,12 @@ func EmitRun(w io.Writer, f Format, r RunResult) error {
 			}
 			if tr.ForwardAccuracy > 0 {
 				if _, err := fmt.Fprintf(w, " forward-accuracy=%.0f%%", 100*tr.ForwardAccuracy); err != nil {
+					return err
+				}
+			}
+			if tr.Crashed > 0 {
+				if _, err := fmt.Fprintf(w, " crashed=%d recovery=%v",
+					tr.Crashed, tr.Recovery.Round(100*time.Millisecond)); err != nil {
 					return err
 				}
 			}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"dapes/internal/fault"
 )
 
 // Scale selects the workload size. The paper's full scale (10 x 1 MB files,
@@ -67,6 +69,12 @@ type Scale struct {
 	// Values above 1 relax the global-trace contract as documented in
 	// docs/PERFORMANCE.md.
 	Shards int
+	// Faults is the declarative fault plan (crashes/restarts, bursty loss,
+	// jammer windows) compiled per trial by internal/fault. nil — and any
+	// plan whose Empty() is true — is trace-neutral: the trial runs the
+	// exact no-fault code path (the fault-determinism contract in
+	// docs/CONTRACTS.md).
+	Faults *fault.Plan
 }
 
 // ReducedScale is the default: 10 files x 20 packets (200 KB collection),
@@ -153,6 +161,9 @@ func (s Scale) Validate() error {
 			return fmt.Errorf("experiment: Scale.Ranges[%d] = %g, must be positive", i, r)
 		}
 	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -214,6 +225,13 @@ type TrialResult struct {
 	ForwardAccuracy float64
 	// MemoryBytes is the aggregate protocol-state footprint (DAPES).
 	MemoryBytes int
+	// Crashed counts peers the trial's fault schedule crashed mid-run
+	// (zero without a fault plan).
+	Crashed int
+	// Recovery is the mean time from restart to re-completion across
+	// downloaders that finished after coming back from a crash — the chaos
+	// scenarios' recovery-time statistic (zero when nothing recovered).
+	Recovery time.Duration
 }
 
 // percentile90 returns the 90th-percentile value of the (sorted ascending)

@@ -180,6 +180,9 @@ func (w *shardedWorld) peer(m geo.Mobility, cfg core.Config) *core.Peer {
 func RunShardedDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptions, shards int, lookahead time.Duration) (TrialResult, error) {
 	w := buildShardedWorld(s, wifiRange, trial, shards, lookahead)
 	defer w.sk.Close()
+	for i := 0; i < w.sk.Shards(); i++ {
+		installMediumFaults(w.sm.Medium(i), s.Faults, TrialSeed(s.BaseSeed, trial))
+	}
 	res, err := buildCollection(s, s.BaseSeed+int64(trial))
 	if err != nil {
 		return TrialResult{}, err
@@ -230,7 +233,12 @@ func RunShardedDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptio
 		}
 	}
 
+	sched, faultsUntil := scheduleCrashes(s.Faults, TrialSeed(s.BaseSeed, trial), downloaders, intermediates)
+
 	w.sk.RunUntil(s.Horizon, func() bool {
+		if w.sk.Now() < faultsUntil {
+			return false
+		}
 		for _, p := range downloaders {
 			if done, _ := p.Done(collection); !done {
 				return false
@@ -239,7 +247,9 @@ func RunShardedDAPESTrial(s Scale, wifiRange float64, trial int, opts DAPESOptio
 		return true
 	})
 
-	return collectDAPES(w.sm.Stats().Transmissions, collection, downloaders, intermediates, pures, s.Horizon), nil
+	result := collectDAPES(w.sm.Stats().Transmissions, collection, downloaders, intermediates, pures, s.Horizon)
+	chaosStats(&result, sched, downloaders, collection)
+	return result, nil
 }
 
 // urbanMetroShards is urban-metro's default stripe count when neither the

@@ -1,0 +1,45 @@
+package fault
+
+import "testing"
+
+// FuzzFaultPlan holds Parse to the error-never-panic contract: whatever the
+// bytes, the parser returns a plan or an error, and any plan it returns is
+// Validate-clean (the same bar FuzzPlanFile holds internal/plan to). The
+// committed corpus in testdata/fuzz/FuzzFaultPlan keeps the interesting
+// cases — hostile numbers, bad durations, duplicate keys — in CI's 10 s
+// fuzz smoke.
+func FuzzFaultPlan(f *testing.F) {
+	seeds := []string{
+		// Full chaos section as pasted from a plan file.
+		"[faults]\ncrash_frac = 0.34\ncrash_from = \"15s\"\ncrash_until = \"30s\"\nrestart_min = \"10s\"\nrestart_max = \"15s\"\nloss_model = \"gilbert-elliott\"\nloss_p_good = 0.05\nloss_p_bad = 0.4\nloss_good_to_bad = 0.1\nloss_bad_to_good = 0.3\n",
+		// Jammer-only plan.
+		"jam_x = 150\njam_y = 150\njam_radius = 100\njam_from = \"10s\"\njam_until = \"40s\"\n",
+		// Empty and comment-only inputs.
+		"", "# comment\n\n[faults]\n",
+		// Hostile numbers and durations.
+		"crash_frac = 1e308\ncrash_until = \"30s\"\n",
+		"crash_frac = NaN\ncrash_until = \"30s\"\n",
+		"jam_radius = -1\n",
+		"crash_from = \"-5s\"\ncrash_until = \"30s\"\n",
+		"restart_min = \"9223372036854775807ns\"\n",
+		// Malformed structure.
+		"crash_frac", "= 0.5", "\"", "[faults", "crash_frac = ", "crash_frac == 0.5",
+		"loss_model = \"rayleigh\"", "tilt = 1", "jam_x = 1\njam_x = 2",
+		"crash_from = 90",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("Parse returned nil plan with nil error")
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a plan Validate rejects: %v\nplan: %+v", verr, p)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file parses the standalone fault-plan format `dapes-sim -faults`
+// accepts: flat `key = value` lines using exactly the key names of a plan
+// file's [faults] section (internal/plan decodes that section itself, with
+// the same keys, into the same Plan). '#' starts a comment, blank lines
+// are skipped, and an optional `[faults]` header line is accepted so a
+// section can be copy-pasted out of a plan file verbatim. Durations are
+// quoted Go duration strings ("90s"); everything else is a number.
+// Parse returns an error — never panics — on malformed input
+// (FuzzFaultPlan pins that against a committed corpus).
+
+// Parse decodes a flat fault plan and validates it.
+func Parse(src []byte) (*Plan, error) {
+	p := &Plan{}
+	seen := make(map[string]bool)
+	for ln, line := range strings.Split(string(src), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || line == "[faults]" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: line %d: want `key = value`, got %q", ln+1, line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if seen[key] {
+			return nil, fmt.Errorf("fault: line %d: duplicate key %q", ln+1, key)
+		}
+		seen[key] = true
+		if err := p.set(key, val); err != nil {
+			return nil, fmt.Errorf("fault: line %d: %w", ln+1, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseFile reads and parses a fault-plan file.
+func ParseFile(path string) (*Plan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(raw)
+}
+
+func (p *Plan) set(key, val string) error {
+	num := func(dst *float64) error {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("%s: want a number, got %q", key, val)
+		}
+		*dst = v
+		return nil
+	}
+	dur := func(dst *time.Duration) error {
+		s := val
+		if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+			s = s[1 : len(s)-1]
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("%s: want a duration like \"90s\", got %q", key, val)
+		}
+		*dst = v
+		return nil
+	}
+	switch key {
+	case "crash_frac":
+		return num(&p.CrashFrac)
+	case "crash_from":
+		return dur(&p.CrashFrom)
+	case "crash_until":
+		return dur(&p.CrashUntil)
+	case "restart_min":
+		return dur(&p.RestartMin)
+	case "restart_max":
+		return dur(&p.RestartMax)
+	case "jam_x":
+		return num(&p.JamX)
+	case "jam_y":
+		return num(&p.JamY)
+	case "jam_radius":
+		return num(&p.JamRadius)
+	case "jam_from":
+		return dur(&p.JamFrom)
+	case "jam_until":
+		return dur(&p.JamUntil)
+	case "loss_model":
+		s := val
+		if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+			s = s[1 : len(s)-1]
+		}
+		p.LossModel = s
+		return nil
+	case "loss_p_good":
+		return num(&p.PGood)
+	case "loss_p_bad":
+		return num(&p.PBad)
+	case "loss_good_to_bad":
+		return num(&p.GoodToBad)
+	case "loss_bad_to_good":
+		return num(&p.BadToGood)
+	}
+	return fmt.Errorf("unknown key %q", key)
+}

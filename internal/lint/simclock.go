@@ -25,6 +25,7 @@ var simPathPackages = []string{
 	"dapes/internal/routing",
 	"dapes/internal/multihop",
 	"dapes/internal/peba",
+	"dapes/internal/fault",
 	"dapes/internal/experiment",
 	"dapes/internal/plan",
 }

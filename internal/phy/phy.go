@@ -152,6 +152,8 @@ type Stats struct {
 	Collisions uint64
 	// Lost counts receptions dropped by the random loss process.
 	Lost uint64
+	// Jammed counts receptions dropped by an installed Jammer window.
+	Jammed uint64
 	// BytesSent counts on-air bytes (including modeled header overhead).
 	BytesSent uint64
 }
@@ -240,6 +242,11 @@ type Medium struct {
 	cfg    Config
 	radios []*Radio
 	stats  Stats
+
+	// Fault-injection hooks (loss.go; both nil by default, leaving the
+	// reception path byte-identical to the reference i.i.d. code).
+	loss LossModel
+	jam  *Jammer
 
 	// Position cache generation: bumped whenever the virtual clock has
 	// moved since the last position lookup. Radios tag their cached
@@ -855,7 +862,18 @@ func (m *Medium) complete(rx *Radio, rec *reception, frame Frame) {
 		m.stats.Collisions++
 		return
 	}
-	if m.cfg.LossRate > 0 && m.kernel.RNG().Float64() < m.cfg.LossRate {
+	// Jammer check first: a blacked-out receiver hears nothing, so no loss
+	// draw happens for it (pure position/time predicate — no RNG).
+	if m.jam != nil && m.jam.Blocks(m.positionOf(rx), m.kernel.Now()) {
+		m.stats.Jammed++
+		return
+	}
+	if m.loss != nil {
+		if m.loss.Drop(rx.id, m.kernel.RNG()) {
+			m.stats.Lost++
+			return
+		}
+	} else if m.cfg.LossRate > 0 && m.kernel.RNG().Float64() < m.cfg.LossRate {
 		m.stats.Lost++
 		return
 	}

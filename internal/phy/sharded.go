@@ -141,6 +141,7 @@ func (sm *ShardedMedium) Stats() Stats {
 		total.Deliveries += s.Deliveries
 		total.Collisions += s.Collisions
 		total.Lost += s.Lost
+		total.Jammed += s.Jammed
 		total.BytesSent += s.BytesSent
 	}
 	return total

@@ -52,6 +52,11 @@ type Snapshot struct {
 	// times move with hardware and core count and never gate; whole-trial
 	// allocs/op gate at a relative +50%, like the dense scenarios.
 	Shard []BenchPoint `json:"shard,omitempty"`
+	// Fault is the fault-engine section (BENCH_8 onward): one
+	// urban-grid-chaos trial pricing the crash/restart/bursty-loss
+	// hardening. Entirely informational — chaos trials re-fetch after cold
+	// restarts by design, so neither allocs nor times gate.
+	Fault []BenchPoint `json:"fault,omitempty"`
 
 	// Rebaselined lists gated metrics — in the report's display form,
 	// "<name> (<unit>)" — whose values this snapshot moved on purpose: a PR
@@ -179,6 +184,13 @@ func trajectorySeries(snaps []Snapshot) []series {
 		// the dense scenarios, mirroring bench-snapshot's -check rule.
 		for _, b := range snap.Shard {
 			add(key{"bench", b.Name, "allocs/op"}, pos, float64(b.AllocsPerOp), plusHalf, "allocs/op +50%")
+			add(key{"bench", b.Name, "ns/op"}, pos, b.NsPerOp, nil, "")
+		}
+		// Fault injection: entirely informational (see Snapshot.Fault) —
+		// the chaos trial's work load is a deliberate design choice, not a
+		// perf surface.
+		for _, b := range snap.Fault {
+			add(key{"bench", b.Name, "allocs/op"}, pos, float64(b.AllocsPerOp), nil, "")
 			add(key{"bench", b.Name, "ns/op"}, pos, b.NsPerOp, nil, "")
 		}
 	}

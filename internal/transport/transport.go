@@ -63,6 +63,7 @@ type Reliable struct {
 	// txWindows needed for transmit-heavy radios.
 	seen   map[int]*seenSet
 	onRecv func(src int, payload []byte)
+	onFail func(id uint32, dst int)
 
 	// Retransmissions counts timeout-driven resends (TCP-style overhead).
 	Retransmissions uint64
@@ -105,6 +106,14 @@ func NewReliable(k *sim.Kernel, router routing.Router, cfg Config) *Reliable {
 
 // SetReceive installs the application receive callback.
 func (r *Reliable) SetReceive(fn func(src int, payload []byte)) { r.onRecv = fn }
+
+// SetOnFail installs a callback invoked when a message is abandoned after
+// MaxRetries (the same event the Failures counter records): the transport
+// has given up on dst for this message, so the layer above can re-plan —
+// re-queue the work through another peer, or trigger re-discovery —
+// instead of stalling on a silent counter. It fires after the stale route
+// is invalidated and before the message's own onDone.
+func (r *Reliable) SetOnFail(fn func(id uint32, dst int)) { r.onFail = fn }
 
 // Send transmits payload to dst with at-least-once delivery and duplicate
 // suppression at the receiver. onDone (optional) reports final success or
@@ -155,6 +164,9 @@ func (o *outstanding) timeout() {
 		r.Failures++
 		if rt, isDSR := r.router.(*routing.DSR); isDSR {
 			rt.InvalidateRoute(o.dst)
+		}
+		if r.onFail != nil {
+			r.onFail(o.id, o.dst)
 		}
 		if o.onDone != nil {
 			o.onDone(false)

@@ -229,3 +229,41 @@ func TestSeenCompactionKeepsLiveWindow(t *testing.T) {
 		t.Error("live ID dropped by compaction; late duplicates would re-deliver")
 	}
 }
+
+// TestReliableOnFail pins the abandoned-message report the fetch layers
+// rebuild on: when a message exhausts MaxRetries, OnFail fires with the
+// message ID and destination BEFORE the message's own onDone(false), so a
+// handler can invalidate the dead peer before the sender's completion logic
+// re-plans.
+func TestReliableOnFail(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(67)
+	medium := phy.NewMedium(k, phy.Config{Range: 50})
+	a := routing.NewDSDV(k, medium, geo.Stationary{}, routing.DSDVConfig{})
+	a.Start()
+	ra := NewReliable(k, a, Config{RTO: 100 * time.Millisecond, MaxRetries: 3})
+
+	var order []string
+	ra.SetOnFail(func(id uint32, dst int) {
+		if dst != 999 {
+			t.Errorf("OnFail dst = %d, want 999", dst)
+		}
+		order = append(order, "onfail")
+	})
+	k.Schedule(0, func() {
+		ra.Send(999, []byte("void"), func(ok bool) {
+			if ok {
+				t.Error("unreachable destination acked")
+			}
+			order = append(order, "ondone")
+		})
+	})
+	k.Run(time.Minute)
+
+	if len(order) != 2 || order[0] != "onfail" || order[1] != "ondone" {
+		t.Fatalf("callback order = %v, want [onfail ondone]", order)
+	}
+	if ra.Failures != 1 {
+		t.Fatalf("Failures = %d", ra.Failures)
+	}
+}
